@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fig. 22: total ME and VE utilization of the NPU core for the nine
+ * workload pairs under the four designs.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "runtime/serving.hh"
+
+using namespace neu10;
+
+int
+main()
+{
+    const PolicyKind policies[4] = {PolicyKind::Pmt, PolicyKind::V10,
+                                    PolicyKind::Neu10NH,
+                                    PolicyKind::Neu10};
+
+    std::vector<std::array<ServingResult, 4>> rows;
+    for (const auto &pair : evaluationPairs()) {
+        std::array<ServingResult, 4> row;
+        for (int p = 0; p < 4; ++p) {
+            ServingConfig cfg;
+            cfg.policy = policies[p];
+            cfg.tenants = {
+                {pair.w1, pair.batch1, 2, 2, 1.0, 1},
+                {pair.w2, pair.batch2, 2, 2, 1.0, 1},
+            };
+            cfg.minRequests = 8;
+            cfg.maxCycles = 2.5e9;
+            row[p] = runServing(cfg);
+        }
+        rows.push_back(row);
+    }
+
+    bench::header("Figure 22a", "total ME utilization (%)");
+    std::printf("%-12s %8s %8s %8s %8s\n", "Pair", "PMT", "V10", "NH",
+                "Neu10");
+    bench::rule();
+    double pmt_sum = 0.0, neu_sum = 0.0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+        std::printf("%-12s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+                    evaluationPairs()[i].label,
+                    100.0 * rows[i][0].meUsefulUtil,
+                    100.0 * rows[i][1].meUsefulUtil,
+                    100.0 * rows[i][2].meUsefulUtil,
+                    100.0 * rows[i][3].meUsefulUtil);
+        pmt_sum += rows[i][0].meUsefulUtil;
+        neu_sum += rows[i][3].meUsefulUtil;
+    }
+    std::printf("Average ME utilization gain Neu10/PMT: %.2fx "
+                "(paper: 1.26x)\n\n", neu_sum / pmt_sum);
+
+    bench::header("Figure 22b", "total VE utilization (%)");
+    std::printf("%-12s %8s %8s %8s %8s\n", "Pair", "PMT", "V10", "NH",
+                "Neu10");
+    bench::rule();
+    pmt_sum = neu_sum = 0.0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+        std::printf("%-12s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+                    evaluationPairs()[i].label,
+                    100.0 * rows[i][0].veUtil,
+                    100.0 * rows[i][1].veUtil,
+                    100.0 * rows[i][2].veUtil,
+                    100.0 * rows[i][3].veUtil);
+        pmt_sum += rows[i][0].veUtil;
+        neu_sum += rows[i][3].veUtil;
+    }
+    std::printf("Average VE utilization gain Neu10/PMT: %.2fx "
+                "(paper: 1.2x)\n", neu_sum / pmt_sum);
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Fig. 23 + Table III: benefit breakdown of ME/VE harvesting — the
+ * per-operator speedup of Neu10 over Neu10-NH across each pair, and
+ * the blocked-time overhead each workload pays for being harvested.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+#include "runtime/serving.hh"
+
+using namespace neu10;
+
+namespace
+{
+
+/** Mean duration per op index over all captured requests. */
+std::map<std::uint32_t, double>
+meanOpDurations(const TenantResult &t)
+{
+    std::map<std::uint32_t, double> sum;
+    std::map<std::uint32_t, unsigned> count;
+    for (const auto &req : t.opTimings) {
+        for (const auto &op : req) {
+            if (op.end <= op.start)
+                continue;
+            sum[op.opIndex] += op.end - op.start;
+            ++count[op.opIndex];
+        }
+    }
+    for (auto &[idx, s] : sum)
+        s /= count[idx];
+    return sum;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::header("Figure 23 + Table III",
+                  "per-operator speedup of Neu10 over Neu10-NH and "
+                  "harvesting overhead");
+    std::printf("%-12s %-6s %7s %7s %7s %7s %10s\n", "Pair", "W",
+                "p10", "median", "p90", ">=1.5x", "blocked");
+    bench::rule();
+
+    for (const auto &pair : evaluationPairs()) {
+        ServingResult res[2];
+        for (int p = 0; p < 2; ++p) {
+            ServingConfig cfg;
+            cfg.policy =
+                p == 0 ? PolicyKind::Neu10NH : PolicyKind::Neu10;
+            cfg.tenants = {
+                {pair.w1, pair.batch1, 2, 2, 1.0, 1},
+                {pair.w2, pair.batch2, 2, 2, 1.0, 1},
+            };
+            cfg.minRequests = 8;
+            cfg.maxCycles = 2.5e9;
+            cfg.captureOpTimings = true;
+            res[p] = runServing(cfg);
+        }
+
+        for (int w = 0; w < 2; ++w) {
+            const auto nh = meanOpDurations(res[0].tenants[w]);
+            const auto neu = meanOpDurations(res[1].tenants[w]);
+            std::vector<double> speedups;
+            for (const auto &[idx, nh_dur] : nh) {
+                auto it = neu.find(idx);
+                if (it != neu.end() && it->second > 0.0)
+                    speedups.push_back(nh_dur / it->second);
+            }
+            std::sort(speedups.begin(), speedups.end());
+            auto pct = [&](double q) {
+                if (speedups.empty())
+                    return 0.0;
+                const size_t i = static_cast<size_t>(
+                    q * (speedups.size() - 1));
+                return speedups[i];
+            };
+            const double frac_fast =
+                speedups.empty()
+                    ? 0.0
+                    : static_cast<double>(std::count_if(
+                          speedups.begin(), speedups.end(),
+                          [](double s) { return s >= 1.5; })) /
+                          speedups.size();
+            std::printf("%-12s W%u     %7.2f %7.2f %7.2f %6.0f%% "
+                        "%9.2f%%\n",
+                        pair.label, w + 1, pct(0.10), pct(0.50),
+                        pct(0.90), 100.0 * frac_fast,
+                        100.0 * res[1].tenants[w].blockedFrac);
+        }
+    }
+    std::printf("\nShape check (Fig. 23 / Table III): low-contention "
+                "pairs see most operators speed up (>=1.5x for the "
+                "harvest-heavy side); a minority of operators slow "
+                "down slightly from interference; blocked-time "
+                "overhead stays in the sub-10%% band and is "
+                "outweighed by the gains.\n");
+    return 0;
+}

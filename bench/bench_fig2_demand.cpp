@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figs. 2 and 3: the number of MEs and VEs demanded by DNN inference
+ * workloads over time. Fig. 2 uses batch 8 for six representative
+ * models; Fig. 3 repeats BERT and DLRM at batch 32.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "compiler/profile.hh"
+#include "models/zoo.hh"
+#include "stats/timeseries.hh"
+
+using namespace neu10;
+
+namespace
+{
+
+constexpr double kHbmBpc = 1.2e12 / 1.05e9;
+constexpr size_t kBins = 48;
+
+void
+demandRow(ModelId id, unsigned batch)
+{
+    const auto prof =
+        profileWorkload(buildModel(id, batch), 4, 4, kHbmBpc);
+
+    TimeSeries me, ve;
+    for (const auto &op : prof.timeline) {
+        me.record(op.start, op.demandMe);
+        ve.record(op.start, op.demandVe);
+    }
+    const auto me_bins = me.rebin(0.0, prof.demandTime, kBins);
+    const auto ve_bins = ve.rebin(0.0, prof.demandTime, kBins);
+
+    const double span_ms = bench::toMs(prof.demandTime);
+    std::printf("%-13s b=%-4u span=%9.3f ms\n", modelAbbrev(id).c_str(),
+                batch, span_ms);
+    std::printf("  MEs |%s| peak %u\n",
+                bench::sparkline(me_bins, 4.0).c_str(),
+                static_cast<unsigned>(me.peak()));
+    std::printf("  VEs |%s| peak %u\n",
+                bench::sparkline(ve_bins, 4.0).c_str(),
+                static_cast<unsigned>(ve.peak()));
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::header("Figure 2", "MEs and VEs demanded over time "
+                              "(batch size 8)");
+    for (ModelId id : {ModelId::Bert, ModelId::Transformer,
+                       ModelId::Dlrm, ModelId::Ncf, ModelId::ResNet,
+                       ModelId::MaskRcnn}) {
+        demandRow(id, 8);
+    }
+
+    std::printf("\n");
+    bench::header("Figure 3", "demand with a larger batch size "
+                              "(batch 32)");
+    demandRow(ModelId::Bert, 32);
+    demandRow(ModelId::Dlrm, 32);
+
+    std::printf("\nShape check: demands alternate between ME- and "
+                "VE-heavy phases; DLRM/NCF demand VEs with sparse ME "
+                "bursts, BERT/ResNet the reverse (SII-B).\n");
+    return 0;
+}

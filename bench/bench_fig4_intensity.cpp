@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 4: ME:VE intensity ratio across batch sizes 1..1024 for every
+ * Table I model (quantified by ME vs VE execution time; models that
+ * do not fit in HBM at a batch size are omitted, as in the paper).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "compiler/profile.hh"
+#include "models/zoo.hh"
+
+using namespace neu10;
+
+int
+main()
+{
+    bench::header("Figure 4", "ME/VE intensity ratio vs batch size");
+    const unsigned batches[] = {1, 8, 32, 64, 128, 256, 512, 1024};
+
+    std::printf("%-13s", "Model");
+    for (unsigned b : batches)
+        std::printf(" %8u", b);
+    std::printf("\n");
+    bench::rule();
+
+    constexpr double bpc = 1.2e12 / 1.05e9;
+    for (ModelId id : tableOneModels()) {
+        std::printf("%-13s", modelAbbrev(id).c_str());
+        for (unsigned b : batches) {
+            if (b > maxBatch(id)) {
+                std::printf(" %8s", "-");
+                continue;
+            }
+            const auto prof =
+                profileWorkload(buildModel(id, b), 4, 4, bpc);
+            std::printf(" %8.3f", prof.intensityRatio());
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nShape check: DLRM/NCF sit orders of magnitude "
+                "below 1 (VE-dominated); ResNet-family and RetinaNet "
+                "sit far above 1 (ME-dominated); EfficientNet is "
+                "near 1 (SII-B / Fig. 4).\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig. 6: VE underutilization inside an ME-intensive fused operator
+ * (tiled MatMul + ReLU). Each ME pop takes 8 cycles to produce an
+ * 8x128 vector; the ReLU post-processing takes 1 cycle, so under
+ * lockstep VLIW issue the VEs idle ~7/8 of the time.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "isa/builders.hh"
+
+using namespace neu10;
+
+int
+main()
+{
+    bench::header("Figure 6", "VE idleness in a fused MatMul+ReLU "
+                              "operator under the classic VLIW ISA");
+
+    // The exact Fig. 6 shape: 2 MEs, 2 VEs.
+    std::printf("Instruction timeline (2 MEs, 2 VEs, 4 pops):\n");
+    const VliwProgram small = makeVliwMatmulRelu(2, 2, 4);
+    double t = 0.0;
+    for (size_t pc = 0; pc < small.code.size(); ++pc) {
+        const auto &inst = small.code[pc];
+        std::printf("  t=%5.0f..%-5.0f I%zu: %s\n", t,
+                    t + inst.latency(), pc, inst.toString().c_str());
+        t += inst.latency();
+    }
+
+    std::printf("\n%-10s %12s %12s %12s %10s\n", "pops/tile",
+                "total cyc", "ME busy/ME", "VE busy/VE", "VE util");
+    bench::rule();
+    for (unsigned pops : {4u, 16u, 64u, 256u, 1024u}) {
+        const VliwProgram prog = makeVliwMatmulRelu(2, 2, pops);
+        const double total = prog.totalLatency();
+        const double me_per = prog.totalMeBusy() / 2.0;
+        const double ve_per = prog.totalVeBusy() / 2.0;
+        std::printf("%-10u %12.0f %12.0f %12.0f %9.1f%%\n", pops,
+                    total, me_per, ve_per, 100.0 * ve_per / total);
+    }
+
+    std::printf("\nShape check: VE utilization settles near 1/8 = "
+                "12.5%% — each 8-cycle pop is chased by a 1-cycle "
+                "ReLU, exactly Fig. 6's idle pattern.\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 7: HBM bandwidth utilization over time for BERT and DLRM at
+ * batch sizes 8 and 32. Peak approaches the 1.2 TB/s hardware limit;
+ * the average sits far below it, and BERT's average *drops* with
+ * batch size while DLRM's stays flat.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "compiler/profile.hh"
+#include "models/zoo.hh"
+#include "stats/timeseries.hh"
+
+using namespace neu10;
+
+namespace
+{
+
+constexpr double kHbmBpc = 1.2e12 / 1.05e9;
+constexpr size_t kBins = 48;
+
+void
+bandwidthRow(ModelId id, unsigned batch)
+{
+    const auto prof =
+        profileWorkload(buildModel(id, batch), 4, 4, kHbmBpc);
+
+    TimeSeries bw; // bytes per cycle over time
+    for (const auto &op : prof.timeline) {
+        const double rate =
+            static_cast<double>(op.bytes) /
+            std::max(1.0, op.end - op.start);
+        bw.record(op.start, std::min(rate, kHbmBpc));
+    }
+    const auto bins = bw.rebin(0.0, prof.demandTime, kBins);
+
+    const Clock clock;
+    const double avg_gbs =
+        clock.toBytesPerSec(prof.averageBandwidth()) / 1e9;
+    const double peak_gbs = clock.toBytesPerSec(bw.peak()) / 1e9;
+    std::printf("%-6s b=%-4u avg %7.2f GB/s  peak %7.2f GB/s  span "
+                "%9.3f ms\n",
+                modelAbbrev(id).c_str(), batch, avg_gbs, peak_gbs,
+                bench::toMs(prof.demandTime));
+    std::printf("  BW |%s| (full scale = 1.2 TB/s)\n",
+                bench::sparkline(bins, kHbmBpc).c_str());
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::header("Figure 7", "HBM bandwidth utilization over time");
+    bandwidthRow(ModelId::Bert, 8);
+    bandwidthRow(ModelId::Bert, 32);
+    bandwidthRow(ModelId::Dlrm, 8);
+    bandwidthRow(ModelId::Dlrm, 32);
+
+    std::printf("\nShape check (paper: BERT 347->176 GB/s avg from "
+                "batch 8 to 32; DLRM ~498->494 GB/s): BERT's average "
+                "falls with batch while DLRM's stays flat near its "
+                "embedding-bound ceiling; peaks approach the 1.2 TB/s "
+                "limit.\n");
+    return 0;
+}

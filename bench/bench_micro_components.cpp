@@ -1,0 +1,171 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the framework's hot components:
+ * NeuISA encode/decode, the interpreter, max-min allocation, segment
+ * translation, IOMMU lookup, event-queue operations, the allocator's
+ * EU sweep, and a full scheduler round on a loaded core.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "isa/builders.hh"
+#include "isa/encoding.hh"
+#include "isa/interpreter.hh"
+#include "npu/bandwidth.hh"
+#include "npu/core_sim.hh"
+#include "sched/policy.hh"
+#include "sim/event_queue.hh"
+#include "virt/iommu.hh"
+#include "virt/memory.hh"
+#include "vnpu/allocator.hh"
+
+namespace neu10
+{
+namespace
+{
+
+void
+BM_NeuIsaEncode(benchmark::State &state)
+{
+    const NeuIsaProgram prog = makeNeuIsaMatmulRelu(
+        4, 4, static_cast<unsigned>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(encode(prog));
+}
+BENCHMARK(BM_NeuIsaEncode)->Arg(8)->Arg(64)->Arg(512);
+
+void
+BM_NeuIsaDecode(benchmark::State &state)
+{
+    const auto image = encode(makeNeuIsaMatmulRelu(
+        4, 4, static_cast<unsigned>(state.range(0))));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(decode(image));
+}
+BENCHMARK(BM_NeuIsaDecode)->Arg(8)->Arg(64)->Arg(512);
+
+void
+BM_InterpreterLoop(benchmark::State &state)
+{
+    const NeuIsaProgram prog = makeNeuIsaLoop(
+        static_cast<unsigned>(state.range(0)), 4);
+    for (auto _ : state) {
+        Interpreter interp;
+        benchmark::DoNotOptimize(interp.runProgram(prog));
+    }
+}
+BENCHMARK(BM_InterpreterLoop)->Arg(4)->Arg(64);
+
+void
+BM_MaxMinAllocate(benchmark::State &state)
+{
+    std::vector<double> demands;
+    for (int i = 0; i < state.range(0); ++i)
+        demands.push_back(1.0 + (i % 7));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(maxMinAllocate(demands, 10.0));
+}
+BENCHMARK(BM_MaxMinAllocate)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_SegmentTranslate(benchmark::State &state)
+{
+    SegmentPool pool(64_GiB, 1_GiB);
+    AddressSpace as(1_GiB, pool.allocate(16_GiB));
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            as.translate(addr % as.size()));
+        addr += 4097;
+    }
+}
+BENCHMARK(BM_SegmentTranslate);
+
+void
+BM_IommuTranslate(benchmark::State &state)
+{
+    Iommu iommu;
+    iommu.attach(1);
+    for (int i = 0; i < 16; ++i)
+        iommu.map(1, i * 0x10000ull, i * 0x100000ull, 0x10000);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            iommu.translate(1, addr % (16 * 0x10000ull)));
+        addr += 4099;
+    }
+}
+BENCHMARK(BM_IommuTranslate);
+
+void
+BM_EventQueueChurn(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        for (int i = 0; i < state.range(0); ++i)
+            q.schedule(static_cast<Cycles>((i * 7919) % 100000),
+                       [](Cycles) {});
+        q.runUntil();
+        benchmark::DoNotOptimize(q.executed());
+    }
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(1000)->Arg(10000);
+
+void
+BM_AllocatorSweep(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(allocSweep(0.93, 0.2, 16));
+}
+BENCHMARK(BM_AllocatorSweep);
+
+void
+BM_SchedulerRound(benchmark::State &state)
+{
+    // One full simulated inference of a synthetic 64-group model on a
+    // loaded 2-tenant core: measures end-to-end simulator throughput.
+    CompiledModel m;
+    m.model = "synthetic";
+    m.batch = 1;
+    m.nx = 4;
+    m.ny = 4;
+    m.neuIsa = true;
+    CompiledOp op;
+    op.name = "op";
+    op.kind = OpKind::MatMul;
+    for (int g = 0; g < 64; ++g) {
+        WorkGroup grp;
+        for (int t = 0; t < 4; ++t) {
+            WorkUnit u;
+            u.kind = UTopKind::Me;
+            u.meTime = 4096.0;
+            u.veTime = 1024.0;
+            u.bytes = 1 << 20;
+            grp.units.push_back(u);
+        }
+        op.groups.push_back(grp);
+    }
+    m.ops.push_back(op);
+    m.validate();
+
+    for (auto _ : state) {
+        EventQueue queue;
+        std::vector<VnpuSlot> slots(2);
+        for (auto &s : slots) {
+            s.nMes = 2;
+            s.nVes = 2;
+        }
+        NpuCoreSim core(queue, NpuCoreConfig{},
+                        makePolicy(PolicyKind::Neu10), slots);
+        core.submit(0, &m, nullptr);
+        core.submit(1, &m, nullptr);
+        queue.runUntil();
+        benchmark::DoNotOptimize(queue.executed());
+    }
+}
+BENCHMARK(BM_SchedulerRound);
+
+} // anonymous namespace
+} // namespace neu10
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table I (model zoo + HBM footprints) and Table II (simulator
+ * configuration) reproduction.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "compiler/profile.hh"
+#include "models/zoo.hh"
+#include "npu/config.hh"
+
+using namespace neu10;
+
+int
+main()
+{
+    bench::header("Table I", "DNN models used as ML services "
+                             "(HBM footprint at batch size 8)");
+    std::printf("%-14s %-7s %12s %14s %10s\n", "Model", "Abbrev",
+                "Footprint", "Total MACs", "Operators");
+    bench::rule();
+    for (ModelId id : tableOneModels()) {
+        const DnnGraph g = buildModel(id, 8);
+        std::printf("%-14s %-7s %12s %13.2fG %9zu\n",
+                    modelName(id).c_str(), modelAbbrev(id).c_str(),
+                    formatBytes(g.hbmFootprint).c_str(),
+                    g.totalMacs() / 1e9, g.ops.size());
+    }
+    const DnnGraph llama = buildModel(ModelId::Llama, 8);
+    std::printf("%-14s %-7s %12s %13.2fG %9zu   (SV-F LLM case "
+                "study)\n",
+                "LLaMA2-13B", "LLaMA",
+                formatBytes(llama.hbmFootprint).c_str(),
+                llama.totalMacs() / 1e9, llama.ops.size());
+
+    std::printf("\n");
+    bench::header("Table II", "NPU simulator configuration");
+    const NpuCoreConfig cfg;
+    std::printf("  # of MEs/VEs            : %u MEs & %u VEs\n",
+                cfg.numMes, cfg.numVes);
+    std::printf("  ME dimension            : 128 x 128 systolic "
+                "array\n");
+    std::printf("  VE ALU dimension        : 128 x 8 FP32 ops/cycle\n");
+    std::printf("  Frequency               : %.0f MHz\n",
+                cfg.freqHz / 1e6);
+    std::printf("  On-chip SRAM            : %s\n",
+                formatBytes(cfg.sramBytes).c_str());
+    std::printf("  HBM capacity & bandwidth: %s, %s\n",
+                formatBytes(cfg.hbmBytes).c_str(),
+                formatBandwidth(cfg.hbmBytesPerSec).c_str());
+    std::printf("  ME preemption penalty   : %.0f cycles (128 pop "
+                "partial sums + 128 pop weights)\n",
+                cfg.mePreemptCycles);
+    std::printf("  Isolation segments      : %s SRAM / %s HBM\n",
+                formatBytes(cfg.sramSegment).c_str(),
+                formatBytes(cfg.hbmSegment).c_str());
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared formatting helpers for the figure-reproduction binaries.
+ *
+ * Every bench prints: a header naming the paper artifact it
+ * regenerates, the fixed-width data table(s), and a short "shape"
+ * summary line the EXPERIMENTS.md comparison quotes.
+ */
+
+#ifndef NEU10_BENCH_BENCH_UTIL_HH
+#define NEU10_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.hh"
+#include "sim/clock.hh"
+
+namespace neu10
+{
+namespace bench
+{
+
+/** Print the bench banner. */
+inline void
+header(const std::string &artifact, const std::string &what)
+{
+    std::printf("================================================"
+                "====================\n");
+    std::printf("%s — %s\n", artifact.c_str(), what.c_str());
+    std::printf("================================================"
+                "====================\n");
+}
+
+/** Print a rule between table sections. */
+inline void
+rule()
+{
+    std::printf("----------------------------------------------------"
+                "----------------\n");
+}
+
+/** Render a series of bin values as a compact sparkline row. */
+inline std::string
+sparkline(const std::vector<double> &bins, double max_value)
+{
+    static const char *marks[] = {" ", ".", ":", "-", "=", "+",
+                                  "*", "#", "@"};
+    std::string out;
+    for (double b : bins) {
+        const double frac = max_value > 0 ? b / max_value : 0.0;
+        const int idx =
+            std::min(8, static_cast<int>(frac * 8.0 + 0.5));
+        out += marks[idx];
+    }
+    return out;
+}
+
+/** Cycles -> milliseconds on the Table II clock. */
+inline double
+toMs(double cycles)
+{
+    return Clock().toSeconds(cycles) * 1e3;
+}
+
+/** Cycles -> microseconds on the Table II clock. */
+inline double
+toUs(double cycles)
+{
+    return Clock().toSeconds(cycles) * 1e6;
+}
+
+} // namespace bench
+} // namespace neu10
+
+#endif // NEU10_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cloud serving scenario: a recommendation service (DLRM) and an
+ * object-detection service (RetinaNet) share one physical NPU core.
+ * The operator compares all four sharing designs and prints an
+ * SLO-style report — p95 latency against a target, throughput, and
+ * how often harvesting blocked each tenant.
+ *
+ * Run: ./build/examples/multi_tenant_serving
+ */
+
+#include <cstdio>
+
+#include "runtime/serving.hh"
+#include "sim/clock.hh"
+
+using namespace neu10;
+
+int
+main()
+{
+    const Clock clock;
+
+    // SLO targets per service (p95, milliseconds).
+    const double slo_ms[2] = {0.5, 400.0};
+
+    std::printf("Scenario: DLRM (recsys, batch 32) + RetinaNet "
+                "(detection, batch 32)\n");
+    std::printf("Each service rents a 2ME+2VE vNPU on one 4ME/4VE "
+                "core.\n\n");
+    std::printf("%-10s %-7s %12s %12s %10s %8s %6s\n", "design",
+                "tenant", "p95 (ms)", "mean (ms)", "req/s",
+                "blocked", "SLO?");
+    std::printf("-------------------------------------------------"
+                "-----------------------\n");
+
+    for (PolicyKind pol : {PolicyKind::Pmt, PolicyKind::V10,
+                           PolicyKind::Neu10NH, PolicyKind::Neu10}) {
+        ServingConfig cfg;
+        cfg.policy = pol;
+        cfg.tenants = {
+            {ModelId::Dlrm, 32, 2, 2, 1.0, 1},
+            {ModelId::RetinaNet, 32, 2, 2, 1.0, 1},
+        };
+        cfg.minRequests = 8;
+        cfg.maxCycles = 3e9;
+        const ServingResult res = runServing(cfg);
+
+        for (int w = 0; w < 2; ++w) {
+            const auto &t = res.tenants[w];
+            const double p95_ms =
+                clock.toSeconds(t.p95()) * 1e3;
+            const double mean_ms =
+                clock.toSeconds(t.latencyCycles.mean()) * 1e3;
+            std::printf("%-10s %-7s %12.3f %12.3f %10.1f %7.2f%% "
+                        "%6s\n",
+                        res.policy.c_str(), t.model.c_str(), p95_ms,
+                        mean_ms, t.throughput,
+                        100.0 * t.blockedFrac,
+                        p95_ms <= slo_ms[w] ? "ok" : "MISS");
+        }
+        std::printf("%-10s core: ME %.0f%%  VE %.0f%%  HBM %.0f "
+                    "GB/s avg\n\n",
+                    "", 100.0 * res.meUsefulUtil, 100.0 * res.veUtil,
+                    clock.toBytesPerSec(res.avgHbmBytesPerCycle) /
+                        1e9);
+    }
+
+    std::printf("Reading: whole-core time sharing (PMT) wastes the "
+                "complementary demand; V10 shares but lets RetinaNet's "
+                "long operators spike DLRM's tail; Neu10 holds both "
+                "SLOs while keeping the core busiest.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the Neu10 libraries.
+ *
+ * Simulated time is measured in *cycles* of the NPU core clock and is kept
+ * as a double: the fluid execution model (see src/npu/core_sim.hh)
+ * computes fractional completion times analytically between scheduling
+ * events, so integral ticks would force quantization error into every
+ * rate intersection. All engine counts and byte quantities are integral.
+ */
+
+#ifndef NEU10_COMMON_TYPES_HH
+#define NEU10_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace neu10
+{
+
+/** Simulated time in NPU core clock cycles (fractional, see file doc). */
+using Cycles = double;
+
+/** A quantity of bytes (capacities, footprints, DMA sizes). */
+using Bytes = std::uint64_t;
+
+/** Identifier of a vNPU instance; dense, assigned by the VnpuManager. */
+using VnpuId = std::uint32_t;
+
+/** Identifier of a physical NPU core within a board. */
+using CoreId = std::uint32_t;
+
+/** Identifier of a tenant (VM / ML service instance). */
+using TenantId = std::uint32_t;
+
+/** Sentinel for "no vNPU". */
+inline constexpr VnpuId kInvalidVnpu =
+    std::numeric_limits<VnpuId>::max();
+
+/** Sentinel for an unbound / invalid core. */
+inline constexpr CoreId kInvalidCore =
+    std::numeric_limits<CoreId>::max();
+
+/** "Never" in simulated time. */
+inline constexpr Cycles kCyclesInf =
+    std::numeric_limits<Cycles>::infinity();
+
+/** Convenience byte-unit multipliers. */
+inline constexpr Bytes operator""_KiB(unsigned long long v)
+{ return v << 10; }
+inline constexpr Bytes operator""_MiB(unsigned long long v)
+{ return v << 20; }
+inline constexpr Bytes operator""_GiB(unsigned long long v)
+{ return v << 30; }
+
+} // namespace neu10
+
+#endif // NEU10_COMMON_TYPES_HH

@@ -1,0 +1,87 @@
+#include "compiler/graph.hh"
+
+#include "common/logging.hh"
+
+namespace neu10
+{
+
+bool
+usesMe(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::MatMul:
+      case OpKind::Conv:
+      case OpKind::Gemv:
+        return true;
+      case OpKind::Embedding:
+      case OpKind::Vector:
+      case OpKind::Reduce:
+        return false;
+    }
+    panic("unknown OpKind %d", static_cast<int>(kind));
+}
+
+void
+DnnGraph::validate() const
+{
+    if (ops.empty())
+        fatal("model '%s' has no operators", model.c_str());
+    if (batch == 0)
+        fatal("model '%s' has batch size 0", model.c_str());
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const TensorOp &op = ops[i];
+        if (op.macs < 0 || op.veElems < 0)
+            fatal("op '%s' has negative work", op.name.c_str());
+        if (op.macs > 0 && !usesMe(op.kind))
+            fatal("op '%s' carries MACs but kind does not use the ME",
+                  op.name.c_str());
+        if (op.meEfficiency <= 0.0 || op.meEfficiency > 1.0)
+            fatal("op '%s' has efficiency %.3f outside (0, 1]",
+                  op.name.c_str(), op.meEfficiency);
+        if (op.parallelTiles == 0)
+            fatal("op '%s' reports zero parallel tiles", op.name.c_str());
+        for (auto d : op.deps) {
+            if (d >= i)
+                fatal("op '%s' (index %zu) depends on op %u: graphs "
+                      "must be emitted in topological order",
+                      op.name.c_str(), i, d);
+        }
+        if (op.fuseWithPrev) {
+            if (op.deps.size() != 1)
+                fatal("fused op '%s' must have exactly one producer",
+                      op.name.c_str());
+            if (usesMe(op.kind))
+                fatal("fused op '%s' must be a vector operator",
+                      op.name.c_str());
+        }
+    }
+}
+
+double
+DnnGraph::totalMacs() const
+{
+    double total = 0.0;
+    for (const auto &op : ops)
+        total += op.macs;
+    return total;
+}
+
+double
+DnnGraph::totalVeElems() const
+{
+    double total = 0.0;
+    for (const auto &op : ops)
+        total += op.veElems;
+    return total;
+}
+
+Bytes
+DnnGraph::totalBytes() const
+{
+    Bytes total = 0;
+    for (const auto &op : ops)
+        total += op.bytes;
+    return total;
+}
+
+} // namespace neu10

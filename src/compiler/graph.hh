@@ -1,0 +1,108 @@
+/**
+ * @file
+ * DNN dataflow graphs: the compiler's input representation.
+ *
+ * An ML framework frontend (PyTorch / TensorFlow in the paper, §III-F)
+ * produces a device-agnostic graph of tensor operators. Here an operator
+ * carries the *work quantities* the backend cost model needs — MACs for
+ * the matrix engines, element-operations for the vector engines, HBM
+ * traffic — plus the structural facts lowering depends on: how many
+ * independent (non-reduction) tiles it splits into, its systolic-array
+ * efficiency, and whether it is an elementwise op fusable into its
+ * producer (§II-B operator fusion).
+ */
+
+#ifndef NEU10_COMPILER_GRAPH_HH
+#define NEU10_COMPILER_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace neu10
+{
+
+/** Operator classes relevant to ME/VE cost attribution. */
+enum class OpKind : std::uint8_t
+{
+    MatMul = 0,  ///< dense matrix multiplication (ME)
+    Conv,        ///< convolution lowered to systolic matmul (ME)
+    Gemv,        ///< skinny matmul / matrix-vector (ME, low occupancy)
+    Embedding,   ///< table gather: HBM + VE, no ME work
+    Vector,      ///< generic elementwise / softmax / norm / pooling (VE)
+    Reduce,      ///< horizontal reductions (VE)
+};
+
+/** True for kinds that execute on the matrix engines. */
+bool usesMe(OpKind kind);
+
+/** One tensor operator with its cost quantities. */
+struct TensorOp
+{
+    std::string name;
+    OpKind kind = OpKind::Vector;
+
+    /** Multiply-accumulate count (matrix-engine work). */
+    double macs = 0.0;
+
+    /** Vector-lane element operations (vector-engine work). */
+    double veElems = 0.0;
+
+    /** HBM traffic in bytes (weights + spilled activations). */
+    Bytes bytes = 0;
+
+    /**
+     * Fraction of peak systolic throughput this operator achieves
+     * (shape-dependent: small channel counts, skinny matrices and
+     * depthwise patterns underfill the 128x128 array).
+     */
+    double meEfficiency = 1.0;
+
+    /**
+     * Independent output tiles available from non-reduction dimensions
+     * (batch / rows / columns). If fewer than the MEs to fill, the
+     * compiler must partition the reduction dimension, which costs a
+     * separate summation uTOp under NeuISA (§III-D overhead).
+     */
+    unsigned parallelTiles = 1;
+
+    /** Elementwise operator fused into its (single) producer. */
+    bool fuseWithPrev = false;
+
+    /** Indices of producer operators within the graph. */
+    std::vector<std::uint32_t> deps;
+};
+
+/** A whole model at a concrete batch size. */
+struct DnnGraph
+{
+    std::string model;
+    unsigned batch = 1;
+    std::vector<TensorOp> ops;
+
+    /** HBM footprint of weights + activations (Table I). */
+    Bytes hbmFootprint = 0;
+
+    /**
+     * Structural checks: deps in range and acyclic (indices must point
+     * backwards — builders emit topological order), fusion targets
+     * exist, quantities non-negative.
+     * @throws FatalError on the first violation.
+     */
+    void validate() const;
+
+    /** Sum of MAC work over all operators. */
+    double totalMacs() const;
+
+    /** Sum of VE element work over all operators. */
+    double totalVeElems() const;
+
+    /** Sum of HBM traffic over all operators. */
+    Bytes totalBytes() const;
+};
+
+} // namespace neu10
+
+#endif // NEU10_COMPILER_GRAPH_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The compiler's machine model: per-engine throughputs of the target
+ * NPU core (Table II of the paper).
+ *
+ * One matrix engine is a 128x128 systolic array retiring 16384 MACs per
+ * cycle at full occupancy; one vector engine retires 128x8 FP32 lane
+ * operations per cycle. The compiler uses these to convert operator
+ * work quantities into busy cycles; the same numbers parameterize the
+ * hardware model in src/npu so compiled costs and simulated hardware
+ * agree by construction.
+ */
+
+#ifndef NEU10_COMPILER_MACHINE_HH
+#define NEU10_COMPILER_MACHINE_HH
+
+#include "common/types.hh"
+
+namespace neu10
+{
+
+/** Engine throughput description (defaults = Table II). */
+struct MachineModel
+{
+    unsigned meRows = 128;     ///< systolic array rows
+    unsigned meCols = 128;     ///< systolic array columns
+    unsigned veLanes = 128;    ///< vector lanes
+    unsigned veWidth = 8;      ///< ops per lane per cycle
+    double freqHz = 1.05e9;    ///< core clock (1050 MHz)
+
+    /** MACs one ME retires per cycle at full occupancy. */
+    double
+    meMacsPerCycle() const
+    {
+        return static_cast<double>(meRows) * meCols;
+    }
+
+    /** Element-ops one VE retires per cycle. */
+    double
+    veElemsPerCycle() const
+    {
+        return static_cast<double>(veLanes) * veWidth;
+    }
+
+    /** Busy cycles on one ME for @p macs at @p efficiency. */
+    Cycles
+    meCyclesFor(double macs, double efficiency = 1.0) const
+    {
+        return macs / (meMacsPerCycle() * efficiency);
+    }
+
+    /** Busy cycles on one VE for @p elems element operations. */
+    Cycles
+    veCyclesFor(double elems) const
+    {
+        return elems / veElemsPerCycle();
+    }
+};
+
+} // namespace neu10
+
+#endif // NEU10_COMPILER_MACHINE_HH

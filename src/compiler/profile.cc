@@ -1,0 +1,123 @@
+#include "compiler/profile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace neu10
+{
+
+namespace
+{
+
+/** Fused consumers' VE work folded into the producer for profiling. */
+struct Folded
+{
+    double veElems = 0.0;
+    Bytes bytes = 0;
+};
+
+} // anonymous namespace
+
+WorkloadProfile
+profileWorkload(const DnnGraph &graph, unsigned max_me, unsigned max_ve,
+                double hbm_bpc, const MachineModel &machine)
+{
+    NEU10_ASSERT(max_me > 0 && max_ve > 0, "need engines to profile for");
+    NEU10_ASSERT(hbm_bpc > 0.0, "need HBM bandwidth");
+    graph.validate();
+
+    WorkloadProfile prof;
+    prof.model = graph.model;
+    prof.batch = graph.batch;
+
+    std::vector<Folded> fold(graph.ops.size());
+    for (const auto &op : graph.ops) {
+        if (op.fuseWithPrev) {
+            fold[op.deps[0]].veElems += op.veElems;
+            fold[op.deps[0]].bytes += op.bytes;
+        }
+    }
+
+    Cycles ref_time = 0.0;   // 1 ME / 1 VE pipelined run
+    Cycles me_active = 0.0;
+    Cycles me_useful = 0.0;
+    Cycles ve_active = 0.0;
+    Cycles clock = 0.0;      // demand-allocation timeline
+
+    for (std::uint32_t gi = 0; gi < graph.ops.size(); ++gi) {
+        const TensorOp &op = graph.ops[gi];
+        if (op.fuseWithPrev)
+            continue;
+
+        const Cycles me = usesMe(op.kind) && op.macs > 0
+                              ? machine.meCyclesFor(op.macs,
+                                                    op.meEfficiency)
+                              : 0.0;
+        const Cycles ve = machine.veCyclesFor(op.veElems +
+                                              fold[gi].veElems);
+        const Bytes bytes = op.bytes + fold[gi].bytes;
+        const Cycles dma = static_cast<double>(bytes) / hbm_bpc;
+
+        // Reference run: engines pipeline within an operator, so its
+        // duration is the max of the three streams (§III-B's model).
+        ref_time += std::max({me, ve, dma, 1.0});
+        me_active += me;
+        me_useful += usesMe(op.kind) ? machine.meCyclesFor(op.macs) : 0.0;
+        ve_active += ve;
+
+        // Demand analysis: the compiler picks engine counts that keep
+        // the engines efficient for this operator's shape (§II-B).
+        OpProfile p;
+        p.name = op.name;
+        p.kind = op.kind;
+        p.meBusy = me;
+        p.veBusy = ve;
+        p.bytes = bytes;
+
+        if (me > 0.0) {
+            p.demandMe = std::min<unsigned>(max_me, op.parallelTiles);
+            // Engine-seconds of VE work per ME-second determines how
+            // many VEs keep pace with the popped output stream.
+            const double ve_per_me =
+                me > 0.0 ? ve / (me / p.demandMe) : 0.0;
+            p.demandVe = std::min<unsigned>(
+                max_ve,
+                std::max<unsigned>(ve > 0.0 ? 1 : 0,
+                                   static_cast<unsigned>(
+                                       std::ceil(ve_per_me))));
+        } else {
+            p.demandMe = 0;
+            const unsigned want = static_cast<unsigned>(
+                std::ceil(ve / std::max(1.0, dma)));
+            p.demandVe = std::min<unsigned>(
+                max_ve, std::max<unsigned>(1, want));
+        }
+
+        const Cycles me_part =
+            p.demandMe > 0 ? me / p.demandMe : 0.0;
+        const Cycles ve_part =
+            p.demandVe > 0 ? ve / p.demandVe : 0.0;
+        const Cycles dur = std::max({me_part, ve_part, dma, 1.0});
+
+        p.start = clock;
+        p.end = clock + dur;
+        clock = p.end;
+        prof.timeline.push_back(std::move(p));
+    }
+
+    prof.referenceTime = ref_time;
+    prof.demandTime = clock;
+    prof.meBusy = me_active;
+    prof.meUseful = me_useful;
+    prof.veBusy = ve_active;
+    prof.bytes = graph.totalBytes();
+    prof.m = ref_time > 0.0 ? me_active / ref_time : 0.0;
+    prof.v = ref_time > 0.0 ? ve_active / ref_time : 0.0;
+    prof.m = std::min(prof.m, 1.0);
+    prof.v = std::min(prof.v, 1.0);
+    return prof;
+}
+
+} // namespace neu10

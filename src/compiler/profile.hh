@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Compile-time workload profiling (§II-B and §III-B).
+ *
+ * The vNPU allocator needs the ME/VE active-time ratios m and v, defined
+ * on a 1-ME/1-VE reference execution ("The ME/VE demands of a ML workload
+ * can be reflected by how it runs on one ME and one VE"). The same
+ * analysis yields the characterization figures: per-operator ME/VE
+ * demand over time (Figs. 2-3), the aggregate ME:VE intensity ratio
+ * (Fig. 4), engine utilization over time (Fig. 5) and the HBM bandwidth
+ * profile (Fig. 7).
+ */
+
+#ifndef NEU10_COMPILER_PROFILE_HH
+#define NEU10_COMPILER_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "compiler/graph.hh"
+#include "compiler/machine.hh"
+
+namespace neu10
+{
+
+/** One operator's slice of the solo-execution timeline. */
+struct OpProfile
+{
+    std::string name;
+    OpKind kind;
+    Cycles start = 0.0;       ///< solo start time (demand allocation)
+    Cycles end = 0.0;         ///< solo end time
+    unsigned demandMe = 0;    ///< MEs the compiler would assign
+    unsigned demandVe = 0;    ///< VEs the compiler would assign
+    Cycles meBusy = 0.0;      ///< total ME busy cycles of the op
+    Cycles veBusy = 0.0;      ///< total VE busy cycles of the op
+    Bytes bytes = 0;          ///< HBM traffic of the op
+};
+
+/** Whole-workload profile used by the allocator and the figures. */
+struct WorkloadProfile
+{
+    std::string model;
+    unsigned batch = 1;
+
+    /** ME active ratio m on the 1-ME/1-VE reference run (§III-B). */
+    double m = 0.0;
+
+    /** VE active ratio v on the 1-ME/1-VE reference run. */
+    double v = 0.0;
+
+    /** Reference (1 ME / 1 VE) solo runtime in cycles. */
+    Cycles referenceTime = 0.0;
+
+    /** Solo runtime at the demanded allocation (timeline end). */
+    Cycles demandTime = 0.0;
+
+    /** Total ME / VE busy cycles and HBM traffic per inference. */
+    Cycles meBusy = 0.0;
+    Cycles veBusy = 0.0;
+    Bytes bytes = 0;
+
+    /**
+     * ME cycles at *peak* array throughput (macs / peak rate): the
+     * performance-counter view of ME compute, excluding occupancy lost
+     * to array underfill. Fig. 4's intensity ratio uses this, so a
+     * low-efficiency GEMV does not masquerade as ME-heavy.
+     */
+    Cycles meUseful = 0.0;
+
+    /** Per-operator timeline at the demanded allocation. */
+    std::vector<OpProfile> timeline;
+
+    /** ME:VE intensity ratio (Fig. 4): useful-busy-time quotient. */
+    double
+    intensityRatio() const
+    {
+        return veBusy > 0.0 ? meUseful / veBusy : kCyclesInf;
+    }
+
+    /** Average HBM bandwidth in bytes/cycle over the solo run. */
+    double
+    averageBandwidth() const
+    {
+        return demandTime > 0.0
+                   ? static_cast<double>(bytes) / demandTime
+                   : 0.0;
+    }
+};
+
+/**
+ * Profile a workload against a machine model.
+ *
+ * @param graph       validated DNN graph.
+ * @param max_me      MEs available to the demand analysis (core size).
+ * @param max_ve      VEs available to the demand analysis.
+ * @param hbm_bpc     HBM bandwidth in bytes per cycle (caps op rates).
+ * @param machine     engine throughput model.
+ */
+WorkloadProfile profileWorkload(const DnnGraph &graph, unsigned max_me,
+                                unsigned max_ve, double hbm_bpc,
+                                const MachineModel &machine = {});
+
+} // namespace neu10
+
+#endif // NEU10_COMPILER_PROFILE_HH

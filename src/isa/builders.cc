@@ -1,0 +1,159 @@
+#include "isa/builders.hh"
+
+#include "common/logging.hh"
+
+namespace neu10
+{
+
+namespace
+{
+
+VliwInstruction
+bundle(unsigned num_mes, unsigned num_ves)
+{
+    VliwInstruction inst;
+    inst.me.resize(num_mes);
+    inst.ve.resize(num_ves);
+    return inst;
+}
+
+} // anonymous namespace
+
+VliwProgram
+makeVliwMatmulRelu(unsigned num_mes, unsigned num_ves, unsigned pops)
+{
+    NEU10_ASSERT(num_mes > 0 && num_ves > 0 && pops > 0,
+                 "matmul+relu needs engines and work");
+    VliwProgram prog;
+    prog.numMeSlots = num_mes;
+    prog.numVeSlots = num_ves;
+
+    // Push phase: feed the systolic arrays.
+    VliwInstruction push = bundle(num_mes, num_ves);
+    for (unsigned m = 0; m < num_mes; ++m)
+        push.me[m] = {MeOpcode::Push, static_cast<std::uint8_t>(m)};
+    prog.code.push_back(push);
+
+    // Pop + ReLU phase (Fig. 6): instruction i pops every ME into
+    // registers, instruction i+1 applies ReLU on the VEs while the next
+    // pop occupies the MEs again. The VLIW lockstep forces the VEs to
+    // wait out the 8-cycle pops — the VE idleness the paper measures.
+    for (unsigned p = 0; p < pops; ++p) {
+        VliwInstruction pop = bundle(num_mes, num_ves);
+        for (unsigned m = 0; m < num_mes; ++m)
+            pop.me[m] = {MeOpcode::Pop,
+                         static_cast<std::uint8_t>(m % 256)};
+        prog.code.push_back(pop);
+
+        VliwInstruction relu = bundle(num_mes, num_ves);
+        for (unsigned v = 0; v < num_ves && v < num_mes; ++v) {
+            relu.ve[v] = {VeOpcode::Relu,
+                          static_cast<std::uint8_t>(v),
+                          static_cast<std::uint8_t>(v), 0};
+        }
+        prog.code.push_back(relu);
+    }
+    prog.validate();
+    return prog;
+}
+
+NeuIsaProgram
+makeNeuIsaMatmulRelu(unsigned tiles, unsigned num_ves, unsigned pops)
+{
+    NEU10_ASSERT(tiles > 0 && num_ves > 0 && pops > 0,
+                 "matmul+relu needs tiles and work");
+    NeuIsaProgram prog;
+    prog.maxMeUTopsPerGroup = tiles;
+    prog.numVeSlots = num_ves;
+
+    // All tiles share one snippet (NeuISA's code-inflation mitigation):
+    // the snippet drives exactly one ME and post-processes on the VEs.
+    UTop me_utop;
+    me_utop.kind = UTopKind::Me;
+    for (unsigned p = 0; p < pops; ++p) {
+        VliwInstruction pop = bundle(1, num_ves);
+        pop.me[0] = {MeOpcode::Pop, static_cast<std::uint8_t>(p % 256)};
+        pop.ve[0] = {VeOpcode::Relu, 0, 0, 0};
+        me_utop.code.push_back(pop);
+    }
+    VliwInstruction fin = bundle(1, num_ves);
+    fin.misc.op = MiscOpcode::UTopFinish;
+    me_utop.code.push_back(fin);
+    me_utop.cost.meCycles = pops * kMePopCycles;
+    me_utop.cost.veCycles = pops * kVeOpCycles;
+
+    prog.snippets.push_back(me_utop);
+    UTopGroup grp;
+    for (unsigned t = 0; t < tiles; ++t)
+        grp.meUTops.push_back(0); // shared snippet index
+    prog.table.push_back(grp);
+    prog.validate();
+    return prog;
+}
+
+NeuIsaProgram
+makeNeuIsaLoop(unsigned iterations, unsigned num_ves, unsigned counter)
+{
+    NEU10_ASSERT(iterations >= 1, "loop needs at least one iteration");
+    NEU10_ASSERT(num_ves > 0, "need at least one VE slot");
+    NeuIsaProgram prog;
+    prog.maxMeUTopsPerGroup = 1;
+    prog.numVeSlots = num_ves;
+
+    auto make_body = [&](Cycles me_cycles) {
+        UTop u;
+        u.kind = UTopKind::Me;
+        VliwInstruction work = bundle(1, num_ves);
+        work.me[0] = {MeOpcode::Pop, 0};
+        u.code.push_back(work);
+        VliwInstruction fin = bundle(1, num_ves);
+        fin.misc.op = MiscOpcode::UTopFinish;
+        u.code.push_back(fin);
+        u.cost.meCycles = me_cycles;
+        return u;
+    };
+
+    // Groups 0 and 1: plain body uTOps.
+    prog.snippets.push_back(make_body(kMePopCycles));
+    prog.snippets.push_back(make_body(kMePopCycles));
+
+    // Group 2: increments scratch[counter]; loops back to group 0 while
+    // count < iterations (the Fig. 15 structure).
+    UTop tail;
+    tail.kind = UTopKind::Ve;
+
+    auto misc_inst = [&](MiscSlot m) {
+        VliwInstruction i = bundle(0, num_ves);
+        i.misc = m;
+        return i;
+    };
+
+    const auto ctr = static_cast<std::int64_t>(counter);
+    // 0: r1 = scratch[counter]
+    tail.code.push_back(misc_inst({MiscOpcode::SLoad, 1, 0, 0, ctr}));
+    // 1: r1 = r1 + 1
+    tail.code.push_back(misc_inst({MiscOpcode::SAddImm, 1, 1, 0, 1}));
+    // 2: scratch[counter] = r1
+    tail.code.push_back(misc_inst({MiscOpcode::SStore, 0, 1, 0, ctr}));
+    // 3: r2 = iterations
+    tail.code.push_back(misc_inst(
+        {MiscOpcode::SLoadImm, 2, 0, 0,
+         static_cast<std::int64_t>(iterations)}));
+    // 4: if r1 >= r2 goto 6 (exit: fall through to finish)
+    tail.code.push_back(misc_inst({MiscOpcode::BranchGe, 0, 1, 2, 6}));
+    // 5: uTop.nextGroup %r0  (i.e. group 0; %r0 is always zero)
+    tail.code.push_back(misc_inst({MiscOpcode::UTopNextGroup, 0, 0, 0, 0}));
+    // 6: uTop.finish
+    tail.code.push_back(misc_inst({MiscOpcode::UTopFinish, 0, 0, 0, 0}));
+    prog.snippets.push_back(tail);
+
+    UTopGroup g0, g1, g2;
+    g0.meUTops.push_back(0);
+    g1.meUTops.push_back(1);
+    g2.veUTop = 2;
+    prog.table = {g0, g1, g2};
+    prog.validate();
+    return prog;
+}
+
+} // namespace neu10

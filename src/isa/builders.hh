@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Convenience builders for small, fully-listed programs.
+ *
+ * These construct instruction-accurate miniature programs used by unit
+ * tests, the Fig. 6 microbenchmark, and the isa_inspector example:
+ * the paper's running example — a tiled matrix multiplication fused with
+ * ReLU — in both its classic VLIW form (Fig. 6) and its NeuISA form
+ * (Figs. 8 and 13), plus the Fig. 15 loop structure.
+ */
+
+#ifndef NEU10_ISA_BUILDERS_HH
+#define NEU10_ISA_BUILDERS_HH
+
+#include "isa/neuisa.hh"
+#include "isa/vliw.hh"
+
+namespace neu10
+{
+
+/**
+ * Classic VLIW fused MatMul+ReLU (Fig. 6): each instruction pops one
+ * output vector from every ME and applies ReLU on the VEs.
+ *
+ * @param num_mes  MEs the program is compiled for (control coupled).
+ * @param num_ves  VE slot width.
+ * @param pops     output vectors per ME.
+ */
+VliwProgram makeVliwMatmulRelu(unsigned num_mes, unsigned num_ves,
+                               unsigned pops);
+
+/**
+ * NeuISA fused MatMul+ReLU (Figs. 8/13): one ME uTOp per tile, each
+ * carrying its own pop/ReLU stream, all in a single uTOp group.
+ *
+ * @param tiles    number of ME uTOps (one per tile).
+ * @param num_ves  ny, the VE slot width.
+ * @param pops     output vectors per tile.
+ */
+NeuIsaProgram makeNeuIsaMatmulRelu(unsigned tiles, unsigned num_ves,
+                                   unsigned pops);
+
+/**
+ * The Fig. 15 loop: groups 0..2 form a loop body executed @p iterations
+ * times; group 2's uTOp increments a counter in scratch SRAM and jumps
+ * back to group 0 via uTop.nextGroup until the trip count is reached.
+ *
+ * @param iterations  loop trip count (>= 1).
+ * @param num_ves     ny, the VE slot width.
+ * @param counter     scratch word used for the loop counter.
+ */
+NeuIsaProgram makeNeuIsaLoop(unsigned iterations, unsigned num_ves,
+                             unsigned counter = 0);
+
+} // namespace neu10
+
+#endif // NEU10_ISA_BUILDERS_HH

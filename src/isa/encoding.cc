@@ -1,0 +1,257 @@
+#include "isa/encoding.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace neu10
+{
+
+namespace
+{
+
+/** Little-endian byte writer. */
+class Writer
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Bounds-checked little-endian byte reader. */
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<std::uint8_t> &buf) : buf_(buf) {}
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return buf_[pos_++];
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(buf_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    bool exhausted() const { return pos_ == buf_.size(); }
+
+  private:
+    void
+    need(size_t n)
+    {
+        if (pos_ + n > buf_.size())
+            fatal("truncated NeuISA image (need %zu bytes at offset %zu, "
+                  "have %zu)", n, pos_, buf_.size());
+    }
+
+    const std::vector<std::uint8_t> &buf_;
+    size_t pos_ = 0;
+};
+
+void
+encodeInst(Writer &w, const VliwInstruction &inst)
+{
+    w.u32(static_cast<std::uint32_t>(inst.me.size()));
+    for (const auto &s : inst.me) {
+        w.u8(static_cast<std::uint8_t>(s.op));
+        w.u8(s.reg);
+    }
+    w.u32(static_cast<std::uint32_t>(inst.ve.size()));
+    for (const auto &s : inst.ve) {
+        w.u8(static_cast<std::uint8_t>(s.op));
+        w.u8(s.dst);
+        w.u8(s.src0);
+        w.u8(s.src1);
+    }
+    for (const LsSlot *ls : {&inst.ls0, &inst.ls1}) {
+        w.u8(static_cast<std::uint8_t>(ls->op));
+        w.u8(ls->reg);
+        w.u32(ls->addr);
+    }
+    w.u8(static_cast<std::uint8_t>(inst.misc.op));
+    w.u8(inst.misc.dst);
+    w.u8(inst.misc.src0);
+    w.u8(inst.misc.src1);
+    w.u64(static_cast<std::uint64_t>(inst.misc.imm));
+}
+
+VliwInstruction
+decodeInst(Reader &r)
+{
+    VliwInstruction inst;
+    const std::uint32_t nme = r.u32();
+    if (nme > 1024)
+        fatal("implausible ME slot count %u in image", nme);
+    inst.me.resize(nme);
+    for (auto &s : inst.me) {
+        s.op = static_cast<MeOpcode>(r.u8());
+        s.reg = r.u8();
+    }
+    const std::uint32_t nve = r.u32();
+    if (nve > 1024)
+        fatal("implausible VE slot count %u in image", nve);
+    inst.ve.resize(nve);
+    for (auto &s : inst.ve) {
+        s.op = static_cast<VeOpcode>(r.u8());
+        s.dst = r.u8();
+        s.src0 = r.u8();
+        s.src1 = r.u8();
+    }
+    for (LsSlot *ls : {&inst.ls0, &inst.ls1}) {
+        ls->op = static_cast<LsOpcode>(r.u8());
+        ls->reg = r.u8();
+        ls->addr = r.u32();
+    }
+    inst.misc.op = static_cast<MiscOpcode>(r.u8());
+    inst.misc.dst = r.u8();
+    inst.misc.src0 = r.u8();
+    inst.misc.src1 = r.u8();
+    inst.misc.imm = static_cast<std::int64_t>(r.u64());
+    return inst;
+}
+
+} // anonymous namespace
+
+std::vector<std::uint8_t>
+encode(const NeuIsaProgram &prog)
+{
+    prog.validate();
+    Writer w;
+    w.u32(kNeuIsaMagic);
+    w.u32(kNeuIsaVersion);
+    w.u32(prog.maxMeUTopsPerGroup);
+    w.u32(prog.numVeSlots);
+
+    w.u32(static_cast<std::uint32_t>(prog.snippets.size()));
+    for (const auto &u : prog.snippets) {
+        w.u8(static_cast<std::uint8_t>(u.kind));
+        w.f64(u.cost.meCycles);
+        w.f64(u.cost.veCycles);
+        w.u64(u.cost.hbmBytes);
+        w.u32(static_cast<std::uint32_t>(u.code.size()));
+        for (const auto &inst : u.code)
+            encodeInst(w, inst);
+    }
+
+    w.u32(static_cast<std::uint32_t>(prog.table.size()));
+    for (const auto &grp : prog.table) {
+        w.u32(static_cast<std::uint32_t>(grp.meUTops.size()));
+        for (auto idx : grp.meUTops)
+            w.u32(idx);
+        // Null entry encoding mirrors the paper's exec table (Fig. 15).
+        w.u32(grp.veUTop ? *grp.veUTop : 0xffffffffu);
+    }
+    return w.take();
+}
+
+NeuIsaProgram
+decode(const std::vector<std::uint8_t> &image)
+{
+    Reader r(image);
+    if (r.u32() != kNeuIsaMagic)
+        fatal("bad NeuISA image magic");
+    const std::uint32_t version = r.u32();
+    if (version != kNeuIsaVersion)
+        fatal("unsupported NeuISA image version %u", version);
+
+    NeuIsaProgram prog;
+    prog.maxMeUTopsPerGroup = r.u32();
+    prog.numVeSlots = r.u32();
+
+    const std::uint32_t nsnip = r.u32();
+    if (nsnip > (1u << 24))
+        fatal("implausible snippet count %u", nsnip);
+    prog.snippets.resize(nsnip);
+    for (auto &u : prog.snippets) {
+        u.kind = static_cast<UTopKind>(r.u8());
+        u.cost.meCycles = r.f64();
+        u.cost.veCycles = r.f64();
+        u.cost.hbmBytes = r.u64();
+        const std::uint32_t ninst = r.u32();
+        if (ninst > (1u << 24))
+            fatal("implausible instruction count %u", ninst);
+        u.code.resize(ninst);
+        for (auto &inst : u.code)
+            inst = decodeInst(r);
+    }
+
+    const std::uint32_t ngroups = r.u32();
+    if (ngroups > (1u << 24))
+        fatal("implausible group count %u", ngroups);
+    prog.table.resize(ngroups);
+    for (auto &grp : prog.table) {
+        const std::uint32_t nme = r.u32();
+        if (nme > (1u << 16))
+            fatal("implausible group width %u", nme);
+        grp.meUTops.resize(nme);
+        for (auto &idx : grp.meUTops)
+            idx = r.u32();
+        const std::uint32_t ve = r.u32();
+        if (ve != 0xffffffffu)
+            grp.veUTop = ve;
+    }
+
+    if (!r.exhausted())
+        fatal("trailing bytes after NeuISA image");
+    prog.validate();
+    return prog;
+}
+
+} // namespace neu10

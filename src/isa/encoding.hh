@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Binary encoding of NeuISA programs.
+ *
+ * The guest ML framework hands the NPU a binary image: program metadata,
+ * the uTOp execution table, then the uTOp code snippets (Fig. 15's
+ * "program layout in memory"). This codec serializes NeuIsaProgram to a
+ * portable little-endian byte image and back, validating on decode, so
+ * the driver/virt layer can treat programs as opaque payloads.
+ */
+
+#ifndef NEU10_ISA_ENCODING_HH
+#define NEU10_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/neuisa.hh"
+
+namespace neu10
+{
+
+/** Magic number leading every NeuISA image ("NISA"). */
+inline constexpr std::uint32_t kNeuIsaMagic = 0x4153494eu;
+
+/** Image format version understood by this library. */
+inline constexpr std::uint32_t kNeuIsaVersion = 1;
+
+/**
+ * Serialize a validated program to a binary image.
+ * @throws FatalError if the program fails validation.
+ */
+std::vector<std::uint8_t> encode(const NeuIsaProgram &prog);
+
+/**
+ * Reconstruct a program from a binary image.
+ * @throws FatalError on bad magic, truncation, or validation failure.
+ */
+NeuIsaProgram decode(const std::vector<std::uint8_t> &image);
+
+} // namespace neu10
+
+#endif // NEU10_ISA_ENCODING_HH

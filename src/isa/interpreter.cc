@@ -1,0 +1,184 @@
+#include "isa/interpreter.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace neu10
+{
+
+Interpreter::Interpreter(size_t scratch_words)
+    : scratch_(scratch_words, 0)
+{
+}
+
+std::int64_t
+Interpreter::scratch(size_t idx) const
+{
+    NEU10_ASSERT(idx < scratch_.size(), "scratch index %zu out of range",
+                 idx);
+    return scratch_[idx];
+}
+
+void
+Interpreter::setScratch(size_t idx, std::int64_t value)
+{
+    NEU10_ASSERT(idx < scratch_.size(), "scratch index %zu out of range",
+                 idx);
+    scratch_[idx] = value;
+}
+
+UTopRunResult
+Interpreter::runUTop(const UTop &u, std::uint32_t group_index,
+                     std::uint32_t utop_index)
+{
+    UTopRunResult res;
+    if (u.code.empty()) {
+        // Trace-mode uTOp: no listing; behaves as straight-line code
+        // that finishes immediately with its aggregate cost.
+        res.finished = true;
+        return res;
+    }
+
+    std::array<std::int64_t, kNumScalarRegs> regs{};
+    size_t pc = 0;
+    while (pc < u.code.size()) {
+        if (res.instsExecuted >= instLimit_)
+            panic("uTOp exceeded instruction limit %llu (runaway loop?)",
+                  static_cast<unsigned long long>(instLimit_));
+        const VliwInstruction &inst = u.code[pc];
+        ++res.instsExecuted;
+        res.issueCycles += inst.latency();
+
+        const MiscSlot &m = inst.misc;
+        bool branched = false;
+        auto wreg = [&](std::uint8_t r, std::int64_t v) {
+            NEU10_ASSERT(r < kNumScalarRegs, "bad scalar reg %u", r);
+            if (r != 0) // %r0 is hardwired to zero
+                regs[r] = v;
+        };
+        auto rreg = [&](std::uint8_t r) -> std::int64_t {
+            NEU10_ASSERT(r < kNumScalarRegs, "bad scalar reg %u", r);
+            return r == 0 ? 0 : regs[r];
+        };
+
+        switch (m.op) {
+          case MiscOpcode::Nop:
+          case MiscOpcode::DmaIn:
+          case MiscOpcode::DmaOut:
+          case MiscOpcode::Sync:
+            break;
+          case MiscOpcode::SLoadImm:
+            wreg(m.dst, m.imm);
+            break;
+          case MiscOpcode::SAdd:
+            wreg(m.dst, rreg(m.src0) + rreg(m.src1));
+            break;
+          case MiscOpcode::SAddImm:
+            wreg(m.dst, rreg(m.src0) + m.imm);
+            break;
+          case MiscOpcode::SLoad:
+            NEU10_ASSERT(m.imm >= 0 &&
+                         static_cast<size_t>(m.imm) < scratch_.size(),
+                         "scratch load out of range");
+            wreg(m.dst, scratch_[static_cast<size_t>(m.imm)]);
+            break;
+          case MiscOpcode::SStore:
+            NEU10_ASSERT(m.imm >= 0 &&
+                         static_cast<size_t>(m.imm) < scratch_.size(),
+                         "scratch store out of range");
+            scratch_[static_cast<size_t>(m.imm)] = rreg(m.src0);
+            break;
+          case MiscOpcode::BranchLt:
+            if (rreg(m.src0) < rreg(m.src1)) {
+                NEU10_ASSERT(m.imm >= 0 &&
+                             static_cast<size_t>(m.imm) < u.code.size(),
+                             "branch target %lld out of range",
+                             static_cast<long long>(m.imm));
+                pc = static_cast<size_t>(m.imm);
+                branched = true;
+            }
+            break;
+          case MiscOpcode::BranchGe:
+            if (rreg(m.src0) >= rreg(m.src1)) {
+                NEU10_ASSERT(m.imm >= 0 &&
+                             static_cast<size_t>(m.imm) < u.code.size(),
+                             "branch target %lld out of range",
+                             static_cast<long long>(m.imm));
+                pc = static_cast<size_t>(m.imm);
+                branched = true;
+            }
+            break;
+          case MiscOpcode::UTopGroup:
+            wreg(m.dst, group_index);
+            break;
+          case MiscOpcode::UTopIndex:
+            wreg(m.dst, utop_index);
+            break;
+          case MiscOpcode::UTopNextGroup:
+            res.requestedNextGroup = true;
+            res.nextGroup = rreg(m.src0);
+            break;
+          case MiscOpcode::UTopFinish:
+            res.finished = true;
+            return res;
+        }
+        if (!branched)
+            ++pc;
+    }
+    panic("uTOp fell off the end of its snippet without uTop.finish");
+}
+
+ProgramRunResult
+Interpreter::runProgram(const NeuIsaProgram &prog)
+{
+    prog.validate();
+    ProgramRunResult res;
+    std::int64_t group = 0;
+    const std::int64_t num_groups =
+        static_cast<std::int64_t>(prog.table.size());
+
+    while (group >= 0 && group < num_groups) {
+        const UTopGroup &grp = prog.table[static_cast<size_t>(group)];
+        res.groupTrace.push_back(static_cast<std::uint32_t>(group));
+        ++res.groupsExecuted;
+
+        bool have_next = false;
+        std::int64_t next = group + 1;
+
+        auto run_one = [&](std::uint32_t snip, std::uint32_t idx) {
+            const UTopRunResult r = runUTop(
+                prog.snippets[snip],
+                static_cast<std::uint32_t>(group), idx);
+            ++res.uTopsExecuted;
+            res.instsExecuted += r.instsExecuted;
+            res.issueCycles += r.issueCycles;
+            if (r.requestedNextGroup) {
+                // §III-D: divergent targets raise an exception.
+                if (have_next && next != r.nextGroup)
+                    fatal("uTOp group %lld: divergent uTop.nextGroup "
+                          "targets %lld vs %lld",
+                          static_cast<long long>(group),
+                          static_cast<long long>(next),
+                          static_cast<long long>(r.nextGroup));
+                have_next = true;
+                next = r.nextGroup;
+            }
+        };
+
+        std::uint32_t idx = 0;
+        for (auto snip : grp.meUTops)
+            run_one(snip, idx++);
+        if (grp.veUTop)
+            run_one(*grp.veUTop, idx++);
+
+        if (have_next && (next < 0 || next >= num_groups))
+            fatal("uTop.nextGroup target %lld out of range [0, %lld)",
+                  static_cast<long long>(next),
+                  static_cast<long long>(num_groups));
+        group = next;
+    }
+    return res;
+}
+
+} // namespace neu10

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Functional interpreter for NeuISA control flow.
+ *
+ * The hardware uTOp scheduler follows the uTOp execution table: group
+ * i+1 runs after group i unless some uTOp executed uTop.nextGroup; if
+ * two uTOps of one group name *different* targets the core raises an
+ * exception (§III-D). This interpreter implements exactly those
+ * semantics — scalar registers, scratch-SRAM counters, intra-uTOp
+ * branches, and cross-group control — so loop structures like Fig. 15
+ * can be executed and verified functionally, independent of timing.
+ */
+
+#ifndef NEU10_ISA_INTERPRETER_HH
+#define NEU10_ISA_INTERPRETER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/neuisa.hh"
+
+namespace neu10
+{
+
+/** Outcome of functionally executing one uTOp. */
+struct UTopRunResult
+{
+    bool finished = false;              ///< saw uTop.finish
+    bool requestedNextGroup = false;
+    std::int64_t nextGroup = 0;         ///< valid if requestedNextGroup
+    std::uint64_t instsExecuted = 0;
+    Cycles issueCycles = 0.0;           ///< sum of bundle latencies
+};
+
+/** Outcome of walking a whole program through the execution table. */
+struct ProgramRunResult
+{
+    std::uint64_t groupsExecuted = 0;
+    std::uint64_t uTopsExecuted = 0;
+    std::uint64_t instsExecuted = 0;
+    Cycles issueCycles = 0.0;
+    std::vector<std::uint32_t> groupTrace; ///< group indices in order
+};
+
+/**
+ * Functional NeuISA interpreter. Each uTOp gets a fresh scalar register
+ * file (as hardware would on dispatch); the scratch memory — modelling
+ * counters kept in SRAM, e.g. Fig. 15's `Count` — persists across uTOps
+ * and groups for one program run.
+ */
+class Interpreter
+{
+  public:
+    /** @param scratch_words size of the persistent scratch memory. */
+    explicit Interpreter(size_t scratch_words = 64);
+
+    /**
+     * Execute one uTOp functionally.
+     *
+     * @param u            the uTOp to run.
+     * @param group_index  value returned by uTop.group.
+     * @param utop_index   value returned by uTop.index.
+     * @throws PanicError on malformed code (missing uTop.finish, branch
+     *         out of range, runaway loop).
+     */
+    UTopRunResult runUTop(const UTop &u, std::uint32_t group_index,
+                          std::uint32_t utop_index);
+
+    /**
+     * Walk an entire program through its uTOp execution table, running
+     * every uTOp of each group, applying the cross-group control rules.
+     *
+     * @throws FatalError if uTOps of one group request different
+     *         next-group targets (the architectural exception of
+     *         §III-D) or a target is out of range.
+     */
+    ProgramRunResult runProgram(const NeuIsaProgram &prog);
+
+    /** Read a scratch word (test inspection). */
+    std::int64_t scratch(size_t idx) const;
+
+    /** Write a scratch word (test setup). */
+    void setScratch(size_t idx, std::int64_t value);
+
+    /** Cap on executed instructions per uTOp (runaway-loop guard). */
+    void setInstLimit(std::uint64_t limit) { instLimit_ = limit; }
+
+  private:
+    std::vector<std::int64_t> scratch_;
+    std::uint64_t instLimit_ = 1u << 20;
+};
+
+} // namespace neu10
+
+#endif // NEU10_ISA_INTERPRETER_HH

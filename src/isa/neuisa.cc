@@ -1,0 +1,113 @@
+#include "isa/neuisa.hh"
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace neu10
+{
+
+void
+NeuIsaProgram::validate() const
+{
+    if (maxMeUTopsPerGroup == 0)
+        fatal("NeuISA program declares nx == 0");
+    if (numVeSlots == 0)
+        fatal("NeuISA program declares ny == 0");
+
+    for (size_t i = 0; i < snippets.size(); ++i) {
+        const UTop &u = snippets[i];
+        const unsigned want_me = u.kind == UTopKind::Me ? 1 : 0;
+        for (size_t pc = 0; pc < u.code.size(); ++pc) {
+            const auto &inst = u.code[pc];
+            if (inst.me.size() != want_me)
+                fatal("snippet %zu inst %zu: %zu ME slots, %s uTOp "
+                      "requires %u", i, pc, inst.me.size(),
+                      u.kind == UTopKind::Me ? "ME" : "VE", want_me);
+            if (inst.ve.size() != numVeSlots)
+                fatal("snippet %zu inst %zu: %zu VE slots, program "
+                      "declares ny=%u", i, pc, inst.ve.size(), numVeSlots);
+        }
+        if (!u.code.empty() &&
+            u.code.back().misc.op != MiscOpcode::UTopFinish) {
+            fatal("snippet %zu does not end in uTop.finish", i);
+        }
+        if (u.cost.meCycles < 0 || u.cost.veCycles < 0)
+            fatal("snippet %zu has negative cost", i);
+        if (u.kind == UTopKind::Ve && u.cost.meCycles > 0)
+            fatal("snippet %zu is a VE uTOp but carries ME cycles", i);
+    }
+
+    for (size_t g = 0; g < table.size(); ++g) {
+        const UTopGroup &grp = table[g];
+        if (grp.meUTops.size() > maxMeUTopsPerGroup)
+            fatal("group %zu has %zu ME uTOps, max is nx=%u", g,
+                  grp.meUTops.size(), maxMeUTopsPerGroup);
+        if (grp.size() == 0)
+            fatal("group %zu is empty", g);
+        for (auto idx : grp.meUTops) {
+            if (idx >= snippets.size())
+                fatal("group %zu references snippet %u out of range",
+                      g, idx);
+            if (snippets[idx].kind != UTopKind::Me)
+                fatal("group %zu lists VE snippet %u as an ME uTOp",
+                      g, idx);
+        }
+        if (grp.veUTop) {
+            if (*grp.veUTop >= snippets.size())
+                fatal("group %zu references snippet %u out of range",
+                      g, *grp.veUTop);
+            if (snippets[*grp.veUTop].kind != UTopKind::Ve)
+                fatal("group %zu lists ME snippet %u as its VE uTOp",
+                      g, *grp.veUTop);
+        }
+    }
+}
+
+UTopCost
+NeuIsaProgram::staticCost() const
+{
+    UTopCost total;
+    for (const auto &grp : table) {
+        for (auto idx : grp.meUTops) {
+            total.meCycles += snippets[idx].cost.meCycles;
+            total.veCycles += snippets[idx].cost.veCycles;
+            total.hbmBytes += snippets[idx].cost.hbmBytes;
+        }
+        if (grp.veUTop) {
+            total.veCycles += snippets[*grp.veUTop].cost.veCycles;
+            total.hbmBytes += snippets[*grp.veUTop].cost.hbmBytes;
+        }
+    }
+    return total;
+}
+
+std::string
+NeuIsaProgram::toString() const
+{
+    std::string out = csprintf("NeuISA program: nx=%u ny=%u, %zu "
+                               "snippets, %zu groups\n",
+                               maxMeUTopsPerGroup, numVeSlots,
+                               snippets.size(), table.size());
+    for (size_t g = 0; g < table.size(); ++g) {
+        out += csprintf("group %zu:", g);
+        for (auto idx : table[g].meUTops)
+            out += csprintf(" ME[%u]", idx);
+        if (table[g].veUTop)
+            out += csprintf(" VE[%u]", *table[g].veUTop);
+        out += "\n";
+    }
+    for (size_t i = 0; i < snippets.size(); ++i) {
+        const UTop &u = snippets[i];
+        out += csprintf("snippet %zu (%s): me=%.0fcy ve=%.0fcy hbm=%s, "
+                        "%zu insts\n", i,
+                        u.kind == UTopKind::Me ? "ME" : "VE",
+                        u.cost.meCycles, u.cost.veCycles,
+                        formatBytes(u.cost.hbmBytes).c_str(),
+                        u.code.size());
+        for (const auto &inst : u.code)
+            out += "    " + inst.toString() + "\n";
+    }
+    return out;
+}
+
+} // namespace neu10

@@ -1,0 +1,92 @@
+#include "isa/ops.hh"
+
+#include "common/logging.hh"
+
+namespace neu10
+{
+
+Cycles
+meOpCycles(MeOpcode op)
+{
+    switch (op) {
+      case MeOpcode::Nop:
+        return 0.0;
+      case MeOpcode::Push:
+        return kMePushCycles;
+      case MeOpcode::Pop:
+        return kMePopCycles;
+    }
+    panic("unknown ME opcode %d", static_cast<int>(op));
+}
+
+Cycles
+veOpCycles(VeOpcode op)
+{
+    return op == VeOpcode::Nop ? 0.0 : kVeOpCycles;
+}
+
+std::string
+toString(MeOpcode op)
+{
+    switch (op) {
+      case MeOpcode::Nop: return "nop";
+      case MeOpcode::Push: return "push";
+      case MeOpcode::Pop: return "pop";
+    }
+    return "me.bad";
+}
+
+std::string
+toString(VeOpcode op)
+{
+    switch (op) {
+      case VeOpcode::Nop: return "nop";
+      case VeOpcode::Add: return "vadd";
+      case VeOpcode::Mul: return "vmul";
+      case VeOpcode::Max: return "vmax";
+      case VeOpcode::Relu: return "relu";
+      case VeOpcode::Sigmoid: return "sigmoid";
+      case VeOpcode::Tanh: return "tanh";
+      case VeOpcode::Exp: return "vexp";
+      case VeOpcode::Reciprocal: return "vrcp";
+      case VeOpcode::Reduce: return "vred";
+      case VeOpcode::Copy: return "vcpy";
+    }
+    return "ve.bad";
+}
+
+std::string
+toString(LsOpcode op)
+{
+    switch (op) {
+      case LsOpcode::Nop: return "nop";
+      case LsOpcode::Load: return "load";
+      case LsOpcode::Store: return "store";
+    }
+    return "ls.bad";
+}
+
+std::string
+toString(MiscOpcode op)
+{
+    switch (op) {
+      case MiscOpcode::Nop: return "nop";
+      case MiscOpcode::DmaIn: return "dma.in";
+      case MiscOpcode::DmaOut: return "dma.out";
+      case MiscOpcode::Sync: return "sync";
+      case MiscOpcode::SLoadImm: return "s.li";
+      case MiscOpcode::SAdd: return "s.add";
+      case MiscOpcode::SAddImm: return "s.addi";
+      case MiscOpcode::SLoad: return "s.ld";
+      case MiscOpcode::SStore: return "s.st";
+      case MiscOpcode::BranchLt: return "b.lt";
+      case MiscOpcode::BranchGe: return "b.ge";
+      case MiscOpcode::UTopFinish: return "uTop.finish";
+      case MiscOpcode::UTopNextGroup: return "uTop.nextGroup";
+      case MiscOpcode::UTopGroup: return "uTop.group";
+      case MiscOpcode::UTopIndex: return "uTop.index";
+    }
+    return "misc.bad";
+}
+
+} // namespace neu10

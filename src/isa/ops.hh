@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Slot-level operation definitions shared by the classic VLIW ISA and
+ * NeuISA (§II-A, §III-D of the paper).
+ *
+ * An NPU core instruction is a bundle of slots: matrix-engine (ME) slots
+ * carrying systolic-array push/pop operations, vector-engine (VE) slots
+ * carrying ALU operations, load/store slots for the on-chip SRAM, and a
+ * misc slot for DMA and — in NeuISA — the uTOp control instructions of
+ * Fig. 14 plus the minimal scalar operations needed to express loop
+ * counters kept in SRAM (Fig. 15).
+ */
+
+#ifndef NEU10_ISA_OPS_HH
+#define NEU10_ISA_OPS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace neu10
+{
+
+/** Matrix-engine slot operations. */
+enum class MeOpcode : std::uint8_t
+{
+    Nop = 0,
+    Push,       ///< push an input tile column into the systolic array
+    Pop,        ///< pop an 8x128 output vector (8 cycles, §II-B Fig. 6)
+};
+
+/** Vector-engine slot operations (single-cycle 128x8 ALU ops). */
+enum class VeOpcode : std::uint8_t
+{
+    Nop = 0,
+    Add,
+    Mul,
+    Max,
+    Relu,
+    Sigmoid,
+    Tanh,
+    Exp,
+    Reciprocal,
+    Reduce,     ///< horizontal reduction step
+    Copy,
+};
+
+/** SRAM load/store slot operations. */
+enum class LsOpcode : std::uint8_t
+{
+    Nop = 0,
+    Load,
+    Store,
+};
+
+/** Misc-slot operations: DMA, sync, scalar, and uTOp control (Fig. 14). */
+enum class MiscOpcode : std::uint8_t
+{
+    Nop = 0,
+    DmaIn,          ///< HBM -> SRAM transfer
+    DmaOut,         ///< SRAM -> HBM transfer
+    Sync,           ///< wait for outstanding DMA
+
+    // Minimal scalar support for loop counters (values live in scratch
+    // SRAM words; registers are the 8-entry scalar file, %r0 == 0).
+    SLoadImm,       ///< reg[dst] = imm
+    SAdd,           ///< reg[dst] = reg[src0] + reg[src1]
+    SAddImm,        ///< reg[dst] = reg[src0] + imm
+    SLoad,          ///< reg[dst] = scratch[imm]
+    SStore,         ///< scratch[imm] = reg[src0]
+    BranchLt,       ///< if reg[src0] < reg[src1]: pc = imm (intra-uTOp)
+    BranchGe,       ///< if reg[src0] >= reg[src1]: pc = imm
+
+    // NeuISA uTOp control instructions (Fig. 14).
+    UTopFinish,     ///< stop this uTOp; scheduler dispatches the next
+    UTopNextGroup,  ///< next group index := reg[src0]
+    UTopGroup,      ///< reg[dst] := current group index
+    UTopIndex,      ///< reg[dst] := this uTOp's index within its group
+};
+
+/** Number of scalar registers (%r0..%r7); %r0 is hardwired to zero. */
+inline constexpr unsigned kNumScalarRegs = 8;
+
+/** Cycles an ME pop occupies the matrix engine (8x128 output, Fig. 6). */
+inline constexpr Cycles kMePopCycles = 8.0;
+
+/** Cycles an ME push occupies the matrix engine. */
+inline constexpr Cycles kMePushCycles = 1.0;
+
+/** Cycles per VE ALU operation. */
+inline constexpr Cycles kVeOpCycles = 1.0;
+
+/** Latency of one slot operation when it occupies its engine. */
+Cycles meOpCycles(MeOpcode op);
+Cycles veOpCycles(VeOpcode op);
+
+/** Human-readable mnemonics (for the disassembler / isa_inspector). */
+std::string toString(MeOpcode op);
+std::string toString(VeOpcode op);
+std::string toString(LsOpcode op);
+std::string toString(MiscOpcode op);
+
+} // namespace neu10
+
+#endif // NEU10_ISA_OPS_HH

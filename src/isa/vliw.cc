@@ -1,0 +1,122 @@
+#include "isa/vliw.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace neu10
+{
+
+Cycles
+VliwInstruction::latency() const
+{
+    Cycles lat = 1.0; // issue cycle
+    for (const auto &s : me)
+        lat = std::max(lat, meOpCycles(s.op));
+    for (const auto &s : ve)
+        lat = std::max(lat, veOpCycles(s.op));
+    return lat;
+}
+
+Cycles
+VliwInstruction::meBusyCycles() const
+{
+    Cycles busy = 0.0;
+    for (const auto &s : me)
+        busy += meOpCycles(s.op);
+    return busy;
+}
+
+Cycles
+VliwInstruction::veBusyCycles() const
+{
+    Cycles busy = 0.0;
+    for (const auto &s : ve)
+        busy += veOpCycles(s.op);
+    return busy;
+}
+
+std::string
+VliwInstruction::toString() const
+{
+    std::vector<std::string> parts;
+    for (size_t i = 0; i < me.size(); ++i)
+        parts.push_back(csprintf("%s ME%zu->R%u",
+                                 neu10::toString(me[i].op).c_str(), i,
+                                 me[i].reg));
+    for (const auto &s : ve)
+        parts.push_back(csprintf("%s R%u,R%u->R%u",
+                                 neu10::toString(s.op).c_str(), s.src0,
+                                 s.src1, s.dst));
+    parts.push_back(neu10::toString(misc.op));
+    return join(parts, " | ");
+}
+
+namespace
+{
+
+bool
+isControlOp(MiscOpcode op)
+{
+    switch (op) {
+      case MiscOpcode::UTopFinish:
+      case MiscOpcode::UTopNextGroup:
+      case MiscOpcode::UTopGroup:
+      case MiscOpcode::UTopIndex:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // anonymous namespace
+
+void
+VliwProgram::validate() const
+{
+    if (numMeSlots == 0 && numVeSlots == 0)
+        fatal("VLIW program declares no execution slots");
+    for (size_t pc = 0; pc < code.size(); ++pc) {
+        const auto &inst = code[pc];
+        if (inst.me.size() != numMeSlots)
+            fatal("instruction %zu has %zu ME slots, program declares %u",
+                  pc, inst.me.size(), numMeSlots);
+        if (inst.ve.size() != numVeSlots)
+            fatal("instruction %zu has %zu VE slots, program declares %u",
+                  pc, inst.ve.size(), numVeSlots);
+        if (isControlOp(inst.misc.op))
+            fatal("instruction %zu uses NeuISA control op '%s' in a "
+                  "classic VLIW program", pc,
+                  neu10::toString(inst.misc.op).c_str());
+    }
+}
+
+Cycles
+VliwProgram::totalMeBusy() const
+{
+    Cycles busy = 0.0;
+    for (const auto &inst : code)
+        busy += inst.meBusyCycles();
+    return busy;
+}
+
+Cycles
+VliwProgram::totalVeBusy() const
+{
+    Cycles busy = 0.0;
+    for (const auto &inst : code)
+        busy += inst.veBusyCycles();
+    return busy;
+}
+
+Cycles
+VliwProgram::totalLatency() const
+{
+    Cycles lat = 0.0;
+    for (const auto &inst : code)
+        lat += inst.latency();
+    return lat;
+}
+
+} // namespace neu10

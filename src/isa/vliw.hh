@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Classic VLIW-style NPU ISA (§II-A).
+ *
+ * Each instruction bundles nm ME slots, nv VE slots, two load/store slots
+ * and one misc slot; the ML compiler statically schedules operations into
+ * slots knowing the engine counts, which is exactly the coupling NeuISA
+ * later removes (§II-C, Fig. 9). A VliwProgram is what the baselines
+ * (PMT, V10) execute.
+ */
+
+#ifndef NEU10_ISA_VLIW_HH
+#define NEU10_ISA_VLIW_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/ops.hh"
+
+namespace neu10
+{
+
+/** A matrix-engine slot: operation plus target register. */
+struct MeSlot
+{
+    MeOpcode op = MeOpcode::Nop;
+    std::uint8_t reg = 0;   ///< destination (pop) / source (push) vreg
+
+    bool operator==(const MeSlot &) const = default;
+};
+
+/** A vector-engine slot: op, destination and sources. */
+struct VeSlot
+{
+    VeOpcode op = VeOpcode::Nop;
+    std::uint8_t dst = 0;
+    std::uint8_t src0 = 0;
+    std::uint8_t src1 = 0;
+
+    bool operator==(const VeSlot &) const = default;
+};
+
+/** A load/store slot: SRAM address is a vreg-sized offset. */
+struct LsSlot
+{
+    LsOpcode op = LsOpcode::Nop;
+    std::uint8_t reg = 0;
+    std::uint32_t addr = 0;
+
+    bool operator==(const LsSlot &) const = default;
+};
+
+/** The misc slot: DMA / sync / scalar / uTOp control. */
+struct MiscSlot
+{
+    MiscOpcode op = MiscOpcode::Nop;
+    std::uint8_t dst = 0;       ///< scalar destination register
+    std::uint8_t src0 = 0;      ///< scalar source register
+    std::uint8_t src1 = 0;      ///< scalar source register
+    std::int64_t imm = 0;       ///< immediate / scratch address / pc
+
+    bool operator==(const MiscSlot &) const = default;
+};
+
+/**
+ * One VLIW bundle. The number of ME/VE slots is fixed per program (for
+ * the classic ISA) or per uTOp kind (for NeuISA, §III-D).
+ */
+struct VliwInstruction
+{
+    std::vector<MeSlot> me;
+    std::vector<VeSlot> ve;
+    LsSlot ls0, ls1;
+    MiscSlot misc;
+
+    bool operator==(const VliwInstruction &) const = default;
+
+    /**
+     * Issue-to-retire latency of the bundle: slots execute in lockstep,
+     * so the bundle retires when its slowest slot does (Fig. 6 shows the
+     * resulting VE idling during 8-cycle ME pops).
+     */
+    Cycles latency() const;
+
+    /** Total busy cycles the bundle imposes on any ME / on any VE. */
+    Cycles meBusyCycles() const;
+    Cycles veBusyCycles() const;
+
+    /** Disassembly, e.g. "pop ME0->R0 | relu R0->R0 | ..." */
+    std::string toString() const;
+};
+
+/**
+ * A compiled classic-VLIW program. The ME width is baked in at compile
+ * time: running on fewer MEs is impossible without recompilation and
+ * extra MEs cannot be used (Fig. 9) — the property the evaluation's V10
+ * baseline inherits.
+ */
+struct VliwProgram
+{
+    unsigned numMeSlots = 0;    ///< MEs the compiler scheduled for
+    unsigned numVeSlots = 0;    ///< VEs the compiler scheduled for
+    std::vector<VliwInstruction> code;
+
+    /**
+     * Structural validation: every instruction carries exactly the
+     * declared slot widths and no NeuISA control ops appear.
+     * @throws FatalError on violation.
+     */
+    void validate() const;
+
+    /** Aggregate ME/VE busy cycles over the whole program. */
+    Cycles totalMeBusy() const;
+    Cycles totalVeBusy() const;
+
+    /** Sequential execution time (sum of bundle latencies). */
+    Cycles totalLatency() const;
+};
+
+} // namespace neu10
+
+#endif // NEU10_ISA_VLIW_HH

@@ -1,0 +1,180 @@
+#include "models/builder.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace neu10
+{
+
+namespace
+{
+
+/** Fraction of a 128-padded dimension actually used. */
+double
+padFill(double x)
+{
+    if (x <= 0.0)
+        return 1.0;
+    const double padded = std::ceil(x / 128.0) * 128.0;
+    return x / padded;
+}
+
+/** Independent 128x128 output tiles of an (M, N) output. */
+unsigned
+outputTiles(double m, double n)
+{
+    const double tiles = std::ceil(std::max(1.0, m) / 128.0) *
+                         std::ceil(std::max(1.0, n) / 128.0);
+    return static_cast<unsigned>(std::min(tiles, 4096.0));
+}
+
+} // anonymous namespace
+
+GraphBuilder::GraphBuilder(std::string model, unsigned batch)
+    : batch_(batch)
+{
+    NEU10_ASSERT(batch > 0, "batch size must be positive");
+    graph_.model = std::move(model);
+    graph_.batch = batch;
+}
+
+double
+GraphBuilder::fillEfficiency(double m, double n, double k)
+{
+    const double m_fill = std::min(1.0, m / 128.0);
+    const double eff = padFill(k) * padFill(n) * m_fill;
+    return std::clamp(eff, 0.01, 1.0);
+}
+
+std::uint32_t
+GraphBuilder::push(TensorOp op, std::vector<std::uint32_t> deps)
+{
+    for (auto d : deps) {
+        if (d == kPrev) {
+            if (!graph_.ops.empty())
+                op.deps.push_back(
+                    static_cast<std::uint32_t>(graph_.ops.size() - 1));
+        } else {
+            op.deps.push_back(d);
+        }
+    }
+    graph_.ops.push_back(std::move(op));
+    return static_cast<std::uint32_t>(graph_.ops.size() - 1);
+}
+
+std::uint32_t
+GraphBuilder::matmul(const std::string &name, double m, double n,
+                     double k, double weight_factor, double act_spill,
+                     std::vector<std::uint32_t> deps)
+{
+    NEU10_ASSERT(m > 0 && n > 0 && k > 0, "matmul dims must be positive");
+    TensorOp op;
+    op.name = name;
+    op.kind = m < 32.0 ? OpKind::Gemv : OpKind::MatMul;
+    op.macs = m * n * k;
+    op.veElems = 0.0;
+    op.meEfficiency = fillEfficiency(m, n, k);
+    op.parallelTiles = outputTiles(m, n);
+    const double weights = n * k * 2.0 * weight_factor;
+    const double acts = (m * k + m * n) * 2.0 * act_spill;
+    op.bytes = static_cast<Bytes>(weights + acts);
+    return push(std::move(op), std::move(deps));
+}
+
+std::uint32_t
+GraphBuilder::conv(const std::string &name, double out_pixels,
+                   double cout, double cin_kk, double weight_factor,
+                   double act_spill, std::vector<std::uint32_t> deps)
+{
+    NEU10_ASSERT(out_pixels > 0 && cout > 0 && cin_kk > 0,
+                 "conv dims must be positive");
+    TensorOp op;
+    op.name = name;
+    op.kind = OpKind::Conv;
+    op.macs = out_pixels * cout * cin_kk;
+    op.meEfficiency = fillEfficiency(out_pixels, cout, cin_kk);
+    op.parallelTiles = outputTiles(out_pixels, cout);
+    const double weights = cin_kk * cout * 2.0 * weight_factor;
+    const double acts = out_pixels * cout * 2.0 * act_spill;
+    op.bytes = static_cast<Bytes>(weights + acts);
+    return push(std::move(op), std::move(deps));
+}
+
+std::uint32_t
+GraphBuilder::vector(const std::string &name, double elems,
+                     double ops_per_elem, Bytes bytes,
+                     std::vector<std::uint32_t> deps)
+{
+    NEU10_ASSERT(elems >= 0 && ops_per_elem >= 0,
+                 "vector work must be non-negative");
+    TensorOp op;
+    op.name = name;
+    op.kind = OpKind::Vector;
+    op.veElems = elems * ops_per_elem;
+    op.bytes = bytes;
+    op.parallelTiles = 1;
+    return push(std::move(op), std::move(deps));
+}
+
+std::uint32_t
+GraphBuilder::fused(const std::string &name, double elems,
+                    double ops_per_elem)
+{
+    NEU10_ASSERT(!graph_.ops.empty(), "fused op needs a producer");
+    TensorOp op;
+    op.name = name;
+    op.kind = OpKind::Vector;
+    op.veElems = elems * ops_per_elem;
+    op.fuseWithPrev = true;
+    return push(std::move(op), {kPrev});
+}
+
+std::uint32_t
+GraphBuilder::embedding(const std::string &name, double lookups,
+                        double dim, double ops_per_elem,
+                        std::vector<std::uint32_t> deps)
+{
+    NEU10_ASSERT(lookups > 0 && dim > 0, "embedding dims positive");
+    TensorOp op;
+    op.name = name;
+    op.kind = OpKind::Embedding;
+    op.veElems = lookups * dim * ops_per_elem;
+    op.bytes = static_cast<Bytes>(lookups * dim * 4.0);
+    op.parallelTiles = 1;
+    return push(std::move(op), std::move(deps));
+}
+
+void
+GraphBuilder::setParallelTiles(unsigned tiles)
+{
+    NEU10_ASSERT(!graph_.ops.empty() && tiles > 0,
+                 "no op to override / zero tiles");
+    graph_.ops.back().parallelTiles = tiles;
+}
+
+void
+GraphBuilder::setEfficiency(double eff)
+{
+    NEU10_ASSERT(!graph_.ops.empty() && eff > 0.0 && eff <= 1.0,
+                 "no op to override / efficiency out of range");
+    graph_.ops.back().meEfficiency = eff;
+}
+
+std::uint32_t
+GraphBuilder::last() const
+{
+    NEU10_ASSERT(!graph_.ops.empty(), "empty graph");
+    return static_cast<std::uint32_t>(graph_.ops.size() - 1);
+}
+
+DnnGraph
+GraphBuilder::take(Bytes footprint)
+{
+    graph_.hbmFootprint = footprint;
+    graph_.validate();
+    return std::move(graph_);
+}
+
+} // namespace neu10

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * GraphBuilder: the model zoo's construction helper.
+ *
+ * Converts layer dimensions into TensorOp work quantities using the
+ * conventions documented in DESIGN.md:
+ *
+ *  - MACs come straight from layer shapes (M x N x K, conv output
+ *    pixels x Cout x Cin*k*k).
+ *  - Systolic efficiency is derived from array fill: the 128x128
+ *    weight-stationary tile is underfilled when K or N are not
+ *    multiples of 128, and short M (small batch / GEMV) cannot hide
+ *    the pipeline, which is what makes LLM decode and small-batch
+ *    MLPs memory/occupancy-bound rather than compute-bound.
+ *  - HBM traffic = streamed weights (with a tiling re-read factor)
+ *    plus a fraction of activations assumed to spill past SRAM.
+ *
+ * Ops chain to the previous op by default, matching the serialized
+ * operator streams the paper replays from TPU traces.
+ */
+
+#ifndef NEU10_MODELS_BUILDER_HH
+#define NEU10_MODELS_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "compiler/graph.hh"
+
+namespace neu10
+{
+
+/** Incremental DnnGraph construction with cost derivation. */
+class GraphBuilder
+{
+  public:
+    GraphBuilder(std::string model, unsigned batch);
+
+    /** Sentinel: chain to the previous op (the default dependency). */
+    static constexpr std::uint32_t kPrev = 0xffffffffu;
+
+    /**
+     * Dense matmul C[M,N] = A[M,K] x B[K,N].
+     * @param weight_factor  tiling re-read multiplier on weight bytes.
+     * @param act_spill      fraction of activation bytes hitting HBM.
+     * @return op index.
+     */
+    std::uint32_t matmul(const std::string &name, double m, double n,
+                         double k, double weight_factor = 1.0,
+                         double act_spill = 0.5,
+                         std::vector<std::uint32_t> deps = {kPrev});
+
+    /**
+     * Convolution lowered to matmul: M = output pixels (incl. batch),
+     * N = Cout, K = Cin * kernel area.
+     */
+    std::uint32_t conv(const std::string &name, double out_pixels,
+                       double cout, double cin_kk,
+                       double weight_factor = 1.0,
+                       double act_spill = 0.25,
+                       std::vector<std::uint32_t> deps = {kPrev});
+
+    /** Generic vector-engine op: elems x ops_per_elem lane operations. */
+    std::uint32_t vector(const std::string &name, double elems,
+                         double ops_per_elem, Bytes bytes = 0,
+                         std::vector<std::uint32_t> deps = {kPrev});
+
+    /** Elementwise op fused into its producer (the previous op). */
+    std::uint32_t fused(const std::string &name, double elems,
+                        double ops_per_elem);
+
+    /** Embedding gather: HBM traffic plus VE pooling work, no ME. */
+    std::uint32_t embedding(const std::string &name, double lookups,
+                            double dim, double ops_per_elem = 2.0,
+                            std::vector<std::uint32_t> deps = {kPrev});
+
+    /** Override the parallel-tile count of the last op (reduction-
+     * partition cases: skinny matmuls that cannot fill the core). */
+    void setParallelTiles(unsigned tiles);
+
+    /** Override the ME efficiency of the last op. */
+    void setEfficiency(double eff);
+
+    /** Index of the most recently added op. */
+    std::uint32_t last() const;
+
+    unsigned batch() const { return batch_; }
+
+    /** Finalize: set the footprint, validate, and return the graph. */
+    DnnGraph take(Bytes footprint);
+
+    /**
+     * Systolic fill efficiency for an (M, N, K) matmul shape: padding
+     * waste on K and N (the stationary tile) times the M-side pipeline
+     * occupancy min(1, M/128).
+     */
+    static double fillEfficiency(double m, double n, double k);
+
+  private:
+    std::uint32_t push(TensorOp op, std::vector<std::uint32_t> deps);
+
+    DnnGraph graph_;
+    unsigned batch_;
+};
+
+} // namespace neu10
+
+#endif // NEU10_MODELS_BUILDER_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Internal declarations of the per-family model builders. Exposed only
+ * to the zoo dispatcher and the model unit tests.
+ */
+
+#ifndef NEU10_MODELS_BUILDERS_INTERNAL_HH
+#define NEU10_MODELS_BUILDERS_INTERNAL_HH
+
+#include "compiler/graph.hh"
+
+namespace neu10
+{
+namespace models
+{
+
+DnnGraph buildBert(unsigned batch);
+DnnGraph buildTransformer(unsigned batch);
+DnnGraph buildDlrm(unsigned batch);
+DnnGraph buildNcf(unsigned batch);
+DnnGraph buildMaskRcnn(unsigned batch);
+DnnGraph buildRetinaNet(unsigned batch);
+DnnGraph buildShapeMask(unsigned batch);
+DnnGraph buildMnist(unsigned batch);
+DnnGraph buildResNet(unsigned batch);
+DnnGraph buildResNetRs(unsigned batch);
+DnnGraph buildEfficientNet(unsigned batch);
+DnnGraph buildLlama(unsigned batch);
+
+} // namespace models
+} // namespace neu10
+
+#endif // NEU10_MODELS_BUILDERS_INTERNAL_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Detection / segmentation model builders: Mask-RCNN, RetinaNet and
+ * ShapeMask — ResNet-FPN backbones at 800x1344 inputs plus detection
+ * heads.
+ *
+ * All three are ME-leaning overall, but Mask-RCNN carries substantial
+ * vector work (RoIAlign, NMS, full-resolution mask pasting), placing
+ * it mid-pack in Fig. 4 while RetinaNet stays strongly ME-intensive.
+ */
+
+#include "models/builders_internal.hh"
+
+#include "common/strings.hh"
+#include "models/builder.hh"
+
+namespace neu10
+{
+namespace models
+{
+
+namespace
+{
+
+constexpr Bytes kMrcnnBase = 2958000000;  // Table I: 3.21GB @ batch 8
+constexpr Bytes kMrcnnActPerSample = 30_MiB;
+constexpr Bytes kRtntBase = 650800000;    // Table I: 860.51MB @ batch 8
+constexpr Bytes kRtntActPerSample = 25_MiB;
+constexpr Bytes kSmaskBase = 5788000000;  // Table I: 6.04GB @ batch 8
+constexpr Bytes kSmaskActPerSample = 30_MiB;
+
+/** 800x1344 ResNet-FPN backbone emitted as coarse per-stage convs. */
+void
+backbone(GraphBuilder &g, unsigned batch, double scale)
+{
+    const double b = batch;
+    struct Stage
+    {
+        const char *name;
+        double pixels;  // per sample
+        double channels;
+        double macs;    // per sample
+        double eff;
+    };
+    const Stage stages[] = {
+        {"stem", 400.0 * 672, 64, 1.26e9 * 1.0, 0.40},
+        {"c2", 200.0 * 336, 256, 4.7e9, 0.50},
+        {"c3", 100.0 * 168, 512, 8.8e9, 0.58},
+        {"c4", 50.0 * 84, 1024, 12.4e9, 0.65},
+        {"c5", 25.0 * 42, 2048, 7.6e9, 0.60},
+    };
+    g.vector("resize_norm", b * 800 * 1344 * 3, 6.0, 0, {});
+    for (const Stage &s : stages) {
+        g.conv(s.name, b * s.pixels, s.channels,
+               s.macs * scale / (s.pixels * s.channels));
+        g.setEfficiency(s.eff);
+        g.fused(csprintf("%s.bn_relu", s.name),
+                b * s.pixels * s.channels, 4.0);
+    }
+    // FPN lateral + output convs and upsampling.
+    g.conv("fpn", b * 266.0 * 448, 256, 3.0e9 * scale /
+                                            (266.0 * 448 * 256));
+    g.setEfficiency(0.55);
+    g.vector("fpn_upsample", b * 266 * 448 * 256, 2.0);
+}
+
+} // anonymous namespace
+
+DnnGraph
+buildMaskRcnn(unsigned batch)
+{
+    const double b = batch;
+    GraphBuilder g("Mask-RCNN", batch);
+    backbone(g, batch, 1.0);
+
+    // Region proposal network + proposal selection.
+    g.conv("rpn", b * 266.0 * 448, 256, 5.0e9 / (266.0 * 448 * 256));
+    g.setEfficiency(0.55);
+    g.vector("rpn_nms", b * 267000, 60.0);
+
+    // Per-RoI heads: 1000 proposals through the box head, 100
+    // detections through the mask head.
+    g.vector("roi_align", b * 1000 * 49 * 256, 10.0);
+    g.matmul("box_head_fc1", b * 1000, 1024, 12544, /*wf=*/1.0);
+    g.matmul("box_head_fc2", b * 1000, 1024, 1024);
+    g.vector("box_decode_nms", b * 1000 * 200, 4.0);
+    g.conv("mask_head", b * 100 * 196, 256, 2304 * 2);
+    g.setEfficiency(0.55);
+    g.vector("mask_paste", b * 1.5e9, 1.0);
+
+    return g.take(kMrcnnBase + batch * kMrcnnActPerSample);
+}
+
+DnnGraph
+buildRetinaNet(unsigned batch)
+{
+    const double b = batch;
+    GraphBuilder g("RetinaNet", batch);
+    backbone(g, batch, 1.0);
+
+    // Class + box towers over five pyramid levels (~22k locations).
+    const double locations = 22176;
+    g.conv("cls_tower", b * locations, 256, 4 * 2304);
+    g.setEfficiency(0.60);
+    g.conv("box_tower", b * locations, 256, 4 * 2304);
+    g.setEfficiency(0.60);
+    g.conv("cls_head", b * locations, 720, 2304);
+    g.setEfficiency(0.60);
+    g.conv("box_head", b * locations, 36, 2304);
+    g.setEfficiency(0.55);
+    g.vector("focal_sigmoid", b * locations * 720, 2.0);
+    g.vector("decode_topk", b * locations * 9, 30.0);
+    g.vector("nms", b * 80e6, 1.0);
+
+    return g.take(kRtntBase + batch * kRtntActPerSample);
+}
+
+DnnGraph
+buildShapeMask(unsigned batch)
+{
+    const double b = batch;
+    GraphBuilder g("ShapeMask", batch);
+    backbone(g, batch, 1.3);
+
+    g.conv("cls_tower", b * 22176, 256, 4 * 2304);
+    g.setEfficiency(0.60);
+    g.conv("box_tower", b * 22176, 256, 4 * 2304);
+    g.setEfficiency(0.60);
+    // Shape prior estimation + coarse/fine mask refinement.
+    g.conv("shape_prior", b * 100 * 1024, 256, 2304);
+    g.setEfficiency(0.55);
+    g.conv("fine_mask", b * 100 * 3136, 128, 1152);
+    g.setEfficiency(0.55);
+    g.vector("prior_fit", b * 100 * 32 * 32, 40.0);
+    g.vector("mask_refine", b * 500e6, 1.0);
+
+    return g.take(kSmaskBase + batch * kSmaskActPerSample);
+}
+
+} // namespace models
+} // namespace neu10

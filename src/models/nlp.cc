@@ -1,0 +1,115 @@
+/**
+ * @file
+ * NLP model builders: BERT-Large and the translation Transformer.
+ *
+ * BERT-Large: L=24, H=1024, FF=4096, 16 heads, sequence 384 (MLPerf).
+ * Encoder-only, large dense matmuls: ME-intensive, efficiency grows
+ * with batch.
+ *
+ * Transformer: 6 encoder layers (S=128) plus an autoregressive decoder
+ * folded into per-step chunks. Decode GEMVs (M = batch) underfill the
+ * systolic array and the per-step vocabulary projection re-reads
+ * weights, making the model more bandwidth- and VE-involved than BERT,
+ * with reduction-partitioned attention ops at small batch (the NeuISA
+ * overhead case of Fig. 16).
+ */
+
+#include "models/builders_internal.hh"
+
+#include "common/strings.hh"
+#include "models/builder.hh"
+
+namespace neu10
+{
+namespace models
+{
+
+namespace
+{
+
+constexpr Bytes kBertBase = 1228000000;     // Table I: 1.27GB @ batch 8
+constexpr Bytes kBertActPerSample = 5_MiB;
+constexpr Bytes kTfmrBase = 1498000000;     // Table I: 1.54GB @ batch 8
+constexpr Bytes kTfmrActPerSample = 5_MiB;
+
+} // anonymous namespace
+
+DnnGraph
+buildBert(unsigned batch)
+{
+    const double b = batch;
+    const double s = 384, h = 1024, ff = 4096, heads = 16;
+    const unsigned layers = 24;
+
+    GraphBuilder g("BERT", batch);
+    g.embedding("embed", b * s, h, 2.0, {});
+
+    for (unsigned l = 0; l < layers; ++l) {
+        const std::string p = csprintf("l%u.", l);
+        g.matmul(p + "qkv", b * s, 3 * h, h, /*wf=*/2.0);
+        g.fused(p + "bias_qkv", b * s * 3 * h, 1.0);
+        g.matmul(p + "scores", b * s, s, h, /*wf=*/0.2);
+        g.vector(p + "softmax", b * heads * s * s, 5.0);
+        g.matmul(p + "attnv", b * s, h, s, /*wf=*/0.2);
+        g.matmul(p + "proj", b * s, h, h, /*wf=*/2.0);
+        g.fused(p + "bias_proj", b * s * h, 1.0);
+        g.vector(p + "ln1", b * s * h, 8.0);
+        g.matmul(p + "ffn1", b * s, ff, h, /*wf=*/2.0);
+        g.fused(p + "gelu", b * s * ff, 6.0);
+        g.matmul(p + "ffn2", b * s, h, ff, /*wf=*/2.0);
+        g.fused(p + "bias_ffn2", b * s * h, 1.0);
+        g.vector(p + "ln2", b * s * h, 8.0);
+    }
+    g.matmul("pooler", b, h, h);
+    g.matmul("classifier", b, 2, h);
+    g.vector("out_softmax", b * 2, 5.0);
+
+    return g.take(kBertBase + batch * kBertActPerSample);
+}
+
+DnnGraph
+buildTransformer(unsigned batch)
+{
+    const double b = batch;
+    const double s = 128, h = 1024, ff = 4096, heads = 16;
+    const double vocab = 33000;
+    const unsigned enc_layers = 6;
+    // Decode folded: 16 autoregressive steps, 6 layers collapsed into
+    // per-step self-attention + FFN + vocabulary projection chunks.
+    const unsigned dec_steps = 16;
+    const double avg_past = 64; // mean decoded prefix length
+
+    GraphBuilder g("Transformer", batch);
+    g.embedding("embed", b * s, h, 2.0, {});
+
+    for (unsigned l = 0; l < enc_layers; ++l) {
+        const std::string p = csprintf("enc%u.", l);
+        g.matmul(p + "qkv", b * s, 3 * h, h, /*wf=*/2.0);
+        g.matmul(p + "scores", b * s, s, h, /*wf=*/0.2);
+        g.vector(p + "softmax", b * heads * s * s, 5.0);
+        g.matmul(p + "attnv", b * s, h, s, /*wf=*/0.2);
+        g.matmul(p + "ffn1", b * s, ff, h, /*wf=*/2.0);
+        g.fused(p + "relu", b * s * ff, 2.0);
+        g.matmul(p + "ffn2", b * s, h, ff, /*wf=*/2.0);
+        g.vector(p + "ln", b * s * h, 8.0);
+    }
+
+    for (unsigned t = 0; t < dec_steps; ++t) {
+        const std::string p = csprintf("dec%u.", t);
+        // Six decoder layers' QKVO + FFN for one step, M = batch.
+        g.matmul(p + "gemv", b, h, 6 * (4 * h + 3 * ff), /*wf=*/1.0);
+        // Per-head attention against past keys: skinny output (64-wide
+        // heads) cannot fill the core without reduction partitioning.
+        g.matmul(p + "attn", b * heads, 64, avg_past * 6, /*wf=*/0.2);
+        g.setParallelTiles(2);
+        g.vector(p + "softmax", b * heads * avg_past * 6, 5.0);
+        g.matmul(p + "logits", b, vocab, h, /*wf=*/1.0);
+        g.vector(p + "vocab_softmax", b * vocab, 5.0);
+        g.vector(p + "beam", b * vocab, 2.0);
+    }
+
+    return g.take(kTfmrBase + batch * kTfmrActPerSample);
+}
+
+} // namespace models
+} // namespace neu10

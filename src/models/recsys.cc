@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Recommendation model builders: DLRM and NCF.
+ *
+ * DLRM: 26 multi-hot embedding tables (pooling factor 800) dominate
+ * both HBM traffic and VE time; the bottom/top MLPs are skinny GEMVs
+ * (M = batch) that occupy the ME briefly at low array fill. Matches
+ * the paper's characterization: VE- and bandwidth-heavy with short ME
+ * bursts (Figs. 2, 4, 5, 7).
+ *
+ * NCF: GMF-style scoring of a large candidate set per user — embedding
+ * gathers plus elementwise fusion and reductions on the VE, almost no
+ * ME work (lowest intensity ratio in Fig. 4).
+ */
+
+#include "models/builders_internal.hh"
+
+#include "models/builder.hh"
+
+namespace neu10
+{
+namespace models
+{
+
+namespace
+{
+
+constexpr Bytes kDlrmBase = 22371000000;  // Table I: 22.38GB @ batch 8
+constexpr Bytes kDlrmActPerSample = 1_MiB;
+constexpr Bytes kNcfBase = 11091000000;   // Table I: 11.10GB @ batch 8
+constexpr Bytes kNcfActPerSample = 1_MiB;
+
+} // anonymous namespace
+
+DnnGraph
+buildDlrm(unsigned batch)
+{
+    const double b = batch;
+    const double tables = 26, pooling = 500, dim = 128;
+
+    GraphBuilder g("DLRM", batch);
+
+    // Bottom MLP on 13 dense features: 13 -> 512 -> 256 -> 128.
+    g.matmul("bot_mlp0", b, 512, 13, 1.0, 0.5, {});
+    g.fused("bot_relu0", b * 512, 1.0);
+    g.matmul("bot_mlp1", b, 256, 512);
+    g.fused("bot_relu1", b * 256, 1.0);
+    g.matmul("bot_mlp2", b, 128, 256);
+
+    // Sparse features: gather + pool 26 multi-hot bags.
+    g.embedding("emb_gather", b * tables * pooling, dim, 4.0, {});
+
+    // Pairwise feature interactions (27 vectors -> 351 dots).
+    const auto interact =
+        g.vector("interact", b * 351 * dim, 3.0, 0,
+                 {4, 5}); // depends on bottom MLP and embeddings
+
+    // Top MLP: 479 -> 1024 -> 1024 -> 512 -> 256 -> 1.
+    g.matmul("top_mlp0", b, 1024, 479, 1.0, 0.5, {interact});
+    g.fused("top_relu0", b * 1024, 1.0);
+    g.matmul("top_mlp1", b, 1024, 1024);
+    g.fused("top_relu1", b * 1024, 1.0);
+    g.matmul("top_mlp2", b, 512, 1024);
+    g.fused("top_relu2", b * 512, 1.0);
+    g.matmul("top_mlp3", b, 256, 512);
+    g.matmul("top_mlp4", b, 1, 256);
+    g.vector("sigmoid", b, 5.0);
+
+    return g.take(kDlrmBase + batch * kDlrmActPerSample);
+}
+
+DnnGraph
+buildNcf(unsigned batch)
+{
+    const double b = batch;
+    const double candidates = 32768, dim = 64;
+
+    GraphBuilder g("NCF", batch);
+    g.embedding("emb_user", b, dim, 2.0, {});
+    g.embedding("emb_items", b * candidates, dim, 2.0, {});
+
+    // GMF: elementwise product + per-candidate reduction.
+    g.vector("gmf_mul", b * candidates * dim, 3.0);
+    g.vector("gmf_reduce", b * candidates * dim, 2.0);
+
+    // Tiny prediction head over pooled features.
+    g.matmul("predict", b, 64, dim, 1.0, 0.5);
+    g.vector("topk", b * candidates, 3.0, 0, {3});
+
+    return g.take(kNcfBase + batch * kNcfActPerSample);
+}
+
+} // namespace models
+} // namespace neu10

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Image-classification model builders: MNIST, ResNet-50, ResNet-RS and
+ * EfficientNet.
+ *
+ * ResNet family: convolution-dominated (ME-intensive), with per-block
+ * fused BN/ReLU vector work. EfficientNet's depthwise convolutions and
+ * SE blocks run on the vector engines, balancing ME and VE demand
+ * (Fig. 12c selects near-diagonal vNPU configs). MNIST is tiny; its
+ * fully-connected GEMV at small batch triggers reduction partitioning,
+ * giving it the largest NeuISA overhead in Fig. 16.
+ */
+
+#include "models/builders_internal.hh"
+
+#include "common/strings.hh"
+#include "models/builder.hh"
+
+namespace neu10
+{
+namespace models
+{
+
+namespace
+{
+
+constexpr Bytes kMnistBase = 10295000;    // Table I: 10.59MB @ batch 8
+constexpr Bytes kMnistActPerSample = 36_KiB;
+constexpr Bytes kResNetBase = 174100000;  // Table I: 216.02MB @ batch 8
+constexpr Bytes kResNetActPerSample = 5_MiB;
+constexpr Bytes kRnrsBase = 391100000;    // Table I: 458.17MB @ batch 8
+constexpr Bytes kRnrsActPerSample = 8_MiB;
+constexpr Bytes kEnetBase = 65500000;     // Table I: 99.06MB @ batch 8
+constexpr Bytes kEnetActPerSample = 4_MiB;
+
+/** Emit one ResNet stage as per-block merged bottleneck convolutions. */
+void
+resnetStage(GraphBuilder &g, const std::string &stage, unsigned batch,
+            unsigned blocks, double pixels_per_sample, double channels,
+            double macs_per_block, double eff, double scale)
+{
+    const double out_pixels = batch * pixels_per_sample;
+    for (unsigned i = 0; i < blocks; ++i) {
+        const std::string p = csprintf("%s.b%u.", stage.c_str(), i);
+        // Merge the bottleneck's three convs: pick cin_kk so the MAC
+        // count lands on the published per-sample-per-block figure.
+        const double cin_kk =
+            macs_per_block * scale / (pixels_per_sample * channels);
+        g.conv(p + "convs", out_pixels, channels, cin_kk);
+        g.setEfficiency(eff);
+        g.fused(p + "bn_relu", out_pixels * channels, 4.0);
+        g.fused(p + "skip_add", out_pixels * channels, 1.0);
+    }
+}
+
+DnnGraph
+buildResNetFamily(const std::string &name, unsigned batch, double scale,
+                  double eff_bonus, Bytes base, Bytes act)
+{
+    const double b = batch;
+    GraphBuilder g(name, batch);
+
+    g.vector("preprocess", b * 224 * 224 * 3, 4.0, 0, {});
+    g.conv("stem", b * 112 * 112, 64, 147);
+    g.setEfficiency(std::min(1.0, 0.35 + eff_bonus));
+    g.fused("stem_bn_relu", b * 112 * 112 * 64, 4.0);
+    g.vector("maxpool", b * 56 * 56 * 64, 5.0);
+
+    resnetStage(g, "s1", batch, 3, 56 * 56, 256, 73e6,
+                std::min(1.0, 0.45 + eff_bonus), scale);
+    resnetStage(g, "s2", batch, 4, 28 * 28, 512, 103e6,
+                std::min(1.0, 0.55 + eff_bonus), scale);
+    resnetStage(g, "s3", batch, 6, 14 * 14, 1024, 96e6,
+                std::min(1.0, 0.65 + eff_bonus), scale);
+    resnetStage(g, "s4", batch, 3, 7 * 7, 2048, 118e6,
+                std::min(1.0, 0.60 + eff_bonus), scale);
+
+    g.vector("avgpool", b * 7 * 7 * 2048, 2.0);
+    g.matmul("fc", b, 1000, 2048);
+    g.vector("softmax", b * 1000, 5.0);
+
+    return g.take(base + batch * act);
+}
+
+} // anonymous namespace
+
+DnnGraph
+buildMnist(unsigned batch)
+{
+    const double b = batch;
+    GraphBuilder g("MNIST", batch);
+
+    g.vector("normalize", b * 784, 4.0, 0, {});
+    g.conv("conv1", b * 784, 32, 25, 1.0, 0.25);
+    g.fused("relu1", b * 784 * 32, 1.0);
+    g.vector("pool1", b * 196 * 32, 5.0);
+    g.conv("conv2", b * 196, 64, 800, 1.0, 0.25);
+    g.fused("relu2", b * 196 * 64, 1.0);
+    g.vector("pool2", b * 49 * 64, 5.0);
+    g.matmul("fc1", b, 128, 3136);
+    g.fused("relu3", b * 128, 1.0);
+    g.matmul("fc2", b, 10, 128);
+    g.vector("softmax", b * 10, 5.0);
+
+    return g.take(kMnistBase + batch * kMnistActPerSample);
+}
+
+DnnGraph
+buildResNet(unsigned batch)
+{
+    return buildResNetFamily("ResNet", batch, 1.0, 0.0, kResNetBase,
+                             kResNetActPerSample);
+}
+
+DnnGraph
+buildResNetRs(unsigned batch)
+{
+    return buildResNetFamily("ResNet-RS", batch, 2.6, 0.05, kRnrsBase,
+                             kRnrsActPerSample);
+}
+
+DnnGraph
+buildEfficientNet(unsigned batch)
+{
+    const double b = batch;
+    GraphBuilder g("EfficientNet", batch);
+
+    g.vector("preprocess", b * 380 * 380 * 3, 4.0, 0, {});
+
+    // Seven stages: pointwise/regular convs on the ME; depthwise convs,
+    // squeeze-excite and swish on the VE.
+    struct Stage
+    {
+        double pixels;     // output pixels per sample
+        double channels;
+        double pw_macs;    // pointwise/regular conv MACs per sample
+        double dw_elems;   // depthwise VE element-ops per sample
+        double eff;
+    };
+    const Stage stages[] = {
+        {190.0 * 190, 24, 90e6, 12e6, 0.30},
+        {95.0 * 95, 32, 180e6, 14e6, 0.32},
+        {48.0 * 48, 56, 260e6, 16e6, 0.35},
+        {24.0 * 24, 112, 360e6, 20e6, 0.40},
+        {24.0 * 24, 160, 380e6, 22e6, 0.40},
+        {12.0 * 12, 272, 420e6, 24e6, 0.42},
+        {12.0 * 12, 448, 210e6, 12e6, 0.42},
+    };
+
+    unsigned idx = 0;
+    for (const Stage &s : stages) {
+        const std::string p = csprintf("st%u.", idx++);
+        g.conv(p + "pw", b * s.pixels, s.channels,
+               s.pw_macs / (s.pixels * s.channels));
+        g.setEfficiency(s.eff);
+        g.fused(p + "bn", b * s.pixels * s.channels, 2.0);
+        g.vector(p + "dw", b * s.dw_elems, 2.0);
+        g.vector(p + "se", b * s.channels * 64, 6.0);
+        g.vector(p + "swish", b * s.pixels * s.channels, 4.0);
+    }
+
+    g.vector("avgpool", b * 12 * 12 * 448, 2.0);
+    g.matmul("fc", b, 1000, 1792);
+    g.vector("softmax", b * 1000, 5.0);
+
+    return g.take(kEnetBase + batch * kEnetActPerSample);
+}
+
+} // namespace models
+} // namespace neu10

@@ -1,0 +1,121 @@
+#include "models/zoo.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.hh"
+#include "models/builders_internal.hh"
+
+namespace neu10
+{
+
+namespace
+{
+
+struct ModelInfo
+{
+    ModelId id;
+    const char *name;
+    const char *abbrev;
+    unsigned maxBatch;
+    DnnGraph (*build)(unsigned);
+};
+
+const ModelInfo kModels[] = {
+    {ModelId::Bert, "BERT", "BERT", 1024, models::buildBert},
+    {ModelId::Transformer, "Transformer", "TFMR", 1024,
+     models::buildTransformer},
+    {ModelId::Dlrm, "DLRM", "DLRM", 512, models::buildDlrm},
+    {ModelId::Ncf, "NCF", "NCF", 1024, models::buildNcf},
+    {ModelId::MaskRcnn, "Mask-RCNN", "MRCNN", 64, models::buildMaskRcnn},
+    {ModelId::RetinaNet, "RetinaNet", "RtNt", 256,
+     models::buildRetinaNet},
+    {ModelId::ShapeMask, "ShapeMask", "SMask", 64, models::buildShapeMask},
+    {ModelId::Mnist, "MNIST", "MNIST", 1024, models::buildMnist},
+    {ModelId::ResNet, "ResNet", "RsNt", 1024, models::buildResNet},
+    {ModelId::ResNetRs, "ResNet-RS", "RNRS", 512, models::buildResNetRs},
+    {ModelId::EfficientNet, "EfficientNet", "ENet", 1024,
+     models::buildEfficientNet},
+    {ModelId::Llama, "LLaMA", "LLaMA", 64, models::buildLlama},
+};
+
+const ModelInfo &
+info(ModelId id)
+{
+    for (const auto &m : kModels)
+        if (m.id == id)
+            return m;
+    panic("unknown ModelId %d", static_cast<int>(id));
+}
+
+} // anonymous namespace
+
+const std::vector<ModelId> &
+tableOneModels()
+{
+    static const std::vector<ModelId> models = {
+        ModelId::Bert, ModelId::Transformer, ModelId::Dlrm, ModelId::Ncf,
+        ModelId::MaskRcnn, ModelId::RetinaNet, ModelId::ShapeMask,
+        ModelId::Mnist, ModelId::ResNet, ModelId::ResNetRs,
+        ModelId::EfficientNet,
+    };
+    return models;
+}
+
+const std::vector<ModelId> &
+allModels()
+{
+    static const std::vector<ModelId> models = [] {
+        std::vector<ModelId> all = tableOneModels();
+        all.push_back(ModelId::Llama);
+        return all;
+    }();
+    return models;
+}
+
+std::string
+modelName(ModelId id)
+{
+    return info(id).name;
+}
+
+std::string
+modelAbbrev(ModelId id)
+{
+    return info(id).abbrev;
+}
+
+unsigned
+maxBatch(ModelId id)
+{
+    return info(id).maxBatch;
+}
+
+DnnGraph
+buildModel(ModelId id, unsigned batch)
+{
+    const ModelInfo &m = info(id);
+    if (batch == 0)
+        fatal("batch size must be positive");
+    if (batch > m.maxBatch)
+        fatal("%s does not fit in HBM at batch %u (max %u)", m.name,
+              batch, m.maxBatch);
+    return m.build(batch);
+}
+
+ModelId
+modelFromAbbrev(const std::string &abbrev)
+{
+    auto lower = [](std::string s) {
+        std::transform(s.begin(), s.end(), s.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        return s;
+    };
+    const std::string want = lower(abbrev);
+    for (const auto &m : kModels)
+        if (lower(m.abbrev) == want || lower(m.name) == want)
+            return m.id;
+    fatal("unknown model abbreviation '%s'", abbrev.c_str());
+}
+
+} // namespace neu10

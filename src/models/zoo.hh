@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The DNN model zoo (Table I of the paper plus LLaMA2-13B from §V-F).
+ *
+ * Builders synthesize per-operator traces — MACs, VE element work, HBM
+ * traffic — from public layer dimensions, substituting for the paper's
+ * proprietary TPU-captured traces (see DESIGN.md substitution table).
+ * Each builder is parameterized by batch size; footprints at batch 8
+ * match Table I.
+ */
+
+#ifndef NEU10_MODELS_ZOO_HH
+#define NEU10_MODELS_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "compiler/graph.hh"
+
+namespace neu10
+{
+
+/** Models evaluated in the paper. */
+enum class ModelId
+{
+    Bert = 0,     ///< BERT-Large, NLP
+    Transformer,  ///< Transformer (translation), NLP
+    Dlrm,         ///< DLRM recommendation
+    Ncf,          ///< Neural collaborative filtering
+    MaskRcnn,     ///< Mask-RCNN detection + segmentation
+    RetinaNet,    ///< RetinaNet detection
+    ShapeMask,    ///< ShapeMask segmentation
+    Mnist,        ///< MNIST convnet
+    ResNet,       ///< ResNet-50 classification
+    ResNetRs,     ///< ResNet-RS classification
+    EfficientNet, ///< EfficientNet classification
+    Llama,        ///< LLaMA2-13B decode-heavy LLM inference (§V-F)
+};
+
+/** All Table I models (excludes LLaMA). */
+const std::vector<ModelId> &tableOneModels();
+
+/** Every model including LLaMA. */
+const std::vector<ModelId> &allModels();
+
+/** Full display name, e.g. "Mask-RCNN". */
+std::string modelName(ModelId id);
+
+/** Table I abbreviation, e.g. "MRCNN". */
+std::string modelAbbrev(ModelId id);
+
+/** Largest batch size the model supports within Table II HBM. */
+unsigned maxBatch(ModelId id);
+
+/**
+ * Build the operator graph for @p id at @p batch.
+ * @throws FatalError if batch exceeds maxBatch(id).
+ */
+DnnGraph buildModel(ModelId id, unsigned batch);
+
+/** Parse an abbreviation back to a ModelId (case-insensitive). */
+ModelId modelFromAbbrev(const std::string &abbrev);
+
+} // namespace neu10
+
+#endif // NEU10_MODELS_ZOO_HH

@@ -1,0 +1,60 @@
+#include "npu/bandwidth.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace neu10
+{
+
+std::vector<double>
+maxMinAllocate(const std::vector<double> &demands, double capacity,
+               const std::vector<double> &weights)
+{
+    NEU10_ASSERT(capacity >= 0.0, "negative capacity");
+    NEU10_ASSERT(weights.empty() || weights.size() == demands.size(),
+                 "weights size mismatch");
+
+    const size_t n = demands.size();
+    std::vector<double> grant(n, 0.0);
+    if (n == 0 || capacity <= 0.0)
+        return grant;
+
+    std::vector<double> w(n, 1.0);
+    if (!weights.empty())
+        w = weights;
+    for (double x : w)
+        NEU10_ASSERT(x >= 0.0, "negative weight");
+
+    // Water-fill exactly: sort by demand/weight; at each level either
+    // everyone remaining is satisfied or the capacity splits by weight.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        const double da = w[a] > 0 ? demands[a] / w[a] : 0.0;
+        const double db = w[b] > 0 ? demands[b] / w[b] : 0.0;
+        return da < db;
+    });
+
+    double cap = capacity;
+    double wsum = 0.0;
+    for (size_t i : order)
+        wsum += demands[i] > 0 ? w[i] : 0.0;
+
+    for (size_t idx = 0; idx < n; ++idx) {
+        const size_t i = order[idx];
+        if (demands[i] <= 0.0 || w[i] <= 0.0)
+            continue;
+        const double fair = cap * w[i] / wsum;
+        const double got = std::min(demands[i], fair);
+        grant[i] = got;
+        cap -= got;
+        wsum -= w[i];
+        if (cap <= 0.0 || wsum <= 0.0)
+            break;
+    }
+    return grant;
+}
+
+} // namespace neu10

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Max-min fair bandwidth allocation.
+ *
+ * Neu10 shares HBM bandwidth fairly between collocated vNPUs by default
+ * (§III-B "memory allocation"): each vNPU with outstanding traffic gets
+ * an equal share, shares a vNPU cannot use spill to the others, and the
+ * same discipline applies within a vNPU across its uTOps. This is the
+ * classic max-min water-filling problem, solved exactly here (no
+ * iteration-to-convergence), and reused for VE-harvest distribution.
+ */
+
+#ifndef NEU10_NPU_BANDWIDTH_HH
+#define NEU10_NPU_BANDWIDTH_HH
+
+#include <vector>
+
+namespace neu10
+{
+
+/**
+ * Max-min fair allocation: given per-consumer demands and a total
+ * capacity, return per-consumer grants such that (a) no grant exceeds
+ * its demand, (b) the total never exceeds capacity, (c) capacity a
+ * consumer declines is redistributed to the still-hungry ones evenly.
+ *
+ * @param demands  non-negative demands.
+ * @param capacity total capacity (>= 0).
+ * @param weights  optional per-consumer weights (default: equal).
+ */
+std::vector<double> maxMinAllocate(const std::vector<double> &demands,
+                                   double capacity,
+                                   const std::vector<double> &weights = {});
+
+} // namespace neu10
+
+#endif // NEU10_NPU_BANDWIDTH_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Physical NPU configuration (Table II of the paper).
+ *
+ * One NPU core: 4 matrix engines (128x128 systolic arrays), 4 vector
+ * engines (128x8 FP32 lanes), 1050 MHz, 128 MB on-chip SRAM, 64 GB HBM
+ * at 1.2 TB/s. The ME preemption penalty is 256 cycles — 128 to pop the
+ * partial sums plus 128 to pop the weights of the preempted uTOp
+ * (§III-G). Memory isolation uses fixed 2 MB SRAM / 1 GB HBM segments
+ * (§III-C).
+ */
+
+#ifndef NEU10_NPU_CONFIG_HH
+#define NEU10_NPU_CONFIG_HH
+
+#include "common/types.hh"
+#include "compiler/machine.hh"
+
+namespace neu10
+{
+
+/** Configuration of one physical NPU core (defaults = Table II). */
+struct NpuCoreConfig
+{
+    unsigned numMes = 4;
+    unsigned numVes = 4;
+    double freqHz = 1.05e9;
+    Bytes sramBytes = 128_MiB;
+    Bytes hbmBytes = 64_GiB;
+    double hbmBytesPerSec = 1.2e12;
+
+    /** ME context-switch penalty when a uTOp is preempted (§III-G). */
+    Cycles mePreemptCycles = 256.0;
+
+    /** Fixed segment sizes for memory isolation (§III-C). */
+    Bytes sramSegment = 2_MiB;
+    Bytes hbmSegment = 1_GiB;
+
+    /** HBM bandwidth in bytes per core cycle. */
+    double
+    hbmBytesPerCycle() const
+    {
+        return hbmBytesPerSec / freqHz;
+    }
+
+    /** The compiler-facing machine model for this core. */
+    MachineModel
+    machine() const
+    {
+        MachineModel m;
+        m.freqHz = freqHz;
+        return m;
+    }
+};
+
+/** A board: chips x cores per chip, all of the same core config. */
+struct NpuBoardConfig
+{
+    unsigned numChips = 2;
+    unsigned coresPerChip = 2;
+    NpuCoreConfig core;
+
+    unsigned
+    totalCores() const
+    {
+        return numChips * coresPerChip;
+    }
+};
+
+} // namespace neu10
+
+#endif // NEU10_NPU_CONFIG_HH

@@ -1,0 +1,58 @@
+#include "runtime/executor.hh"
+
+#include "common/logging.hh"
+
+namespace neu10
+{
+
+SimCommandExecutor::SimCommandExecutor(EventQueue &queue,
+                                       NpuCoreSim &core, double pcie_bps)
+    : queue_(queue), core_(core),
+      pcieBytesPerCycle_(pcie_bps / core.config().freqHz)
+{
+    NEU10_ASSERT(pcie_bps > 0.0, "PCIe bandwidth must be positive");
+}
+
+void
+SimCommandExecutor::bindSlot(VnpuId vnpu, std::uint32_t slot)
+{
+    slots_[vnpu] = slot;
+}
+
+void
+SimCommandExecutor::execute(VnpuId vnpu, const Command &cmd,
+                            Completion done)
+{
+    auto it = slots_.find(vnpu);
+    if (it == slots_.end())
+        fatal("vNPU %u is not bound to a core slot", vnpu);
+    const std::uint32_t slot = it->second;
+
+    switch (cmd.kind) {
+      case CommandKind::MemcpyHostToDevice:
+      case CommandKind::MemcpyDeviceToHost: {
+        const Cycles dur =
+            static_cast<double>(cmd.size) / pcieBytesPerCycle_;
+        const std::uint64_t cid = cmd.id;
+        queue_.schedule(queue_.now() + dur,
+                        [done, cid](Cycles) { done(cid); },
+                        EventPriority::Completion);
+        break;
+      }
+      case CommandKind::Launch: {
+        const std::uint64_t cid = cmd.id;
+        core_.submit(slot, cmd.program,
+                     [done, cid](const RequestResult &) { done(cid); });
+        break;
+      }
+      case CommandKind::Fence: {
+        const std::uint64_t cid = cmd.id;
+        queue_.schedule(queue_.now(),
+                        [done, cid](Cycles) { done(cid); },
+                        EventPriority::Completion);
+        break;
+      }
+    }
+}
+
+} // namespace neu10

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Device-side command execution backed by the core simulator.
+ *
+ * Bridges the virt layer's command path (driver -> command buffer ->
+ * device) to NpuCoreSim: Launch commands become request submissions on
+ * the vNPU's slot; memcpy commands occupy the host link for
+ * size/bandwidth cycles. This is the component that makes the Fig. 11
+ * end-to-end flow runnable in the examples and integration tests.
+ */
+
+#ifndef NEU10_RUNTIME_EXECUTOR_HH
+#define NEU10_RUNTIME_EXECUTOR_HH
+
+#include <unordered_map>
+
+#include "npu/core_sim.hh"
+#include "virt/driver.hh"
+
+namespace neu10
+{
+
+/** Executes guest commands on a simulated core. */
+class SimCommandExecutor : public CommandExecutor
+{
+  public:
+    /**
+     * @param queue         shared event queue.
+     * @param core          the simulated physical core.
+     * @param pcie_bps      host-link bandwidth for memcpy commands.
+     */
+    SimCommandExecutor(EventQueue &queue, NpuCoreSim &core,
+                       double pcie_bps = 64e9);
+
+    /** Bind a vNPU id to its slot index on the core. */
+    void bindSlot(VnpuId vnpu, std::uint32_t slot);
+
+    void execute(VnpuId vnpu, const Command &cmd,
+                 Completion done) override;
+
+  private:
+    EventQueue &queue_;
+    NpuCoreSim &core_;
+    double pcieBytesPerCycle_;
+    std::unordered_map<VnpuId, std::uint32_t> slots_;
+};
+
+} // namespace neu10
+
+#endif // NEU10_RUNTIME_EXECUTOR_HH

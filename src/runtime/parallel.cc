@@ -1,0 +1,57 @@
+#include "runtime/parallel.hh"
+
+#include "common/logging.hh"
+#include "models/zoo.hh"
+
+namespace neu10
+{
+
+DataParallelRunner::DataParallelRunner(std::vector<Shard> shards)
+    : shards_(std::move(shards))
+{
+    NEU10_ASSERT(!shards_.empty(), "need at least one shard");
+    for (const auto &s : shards_) {
+        NEU10_ASSERT(s.core != nullptr && s.program != nullptr,
+                     "shard needs a core and a program");
+    }
+}
+
+void
+DataParallelRunner::submit(Callback cb)
+{
+    auto pending = std::make_shared<Pending>();
+    pending->remaining = shards_.size();
+    pending->cb = std::move(cb);
+    inflight_.push_back(pending);
+
+    for (const auto &shard : shards_) {
+        shard.core->submit(
+            shard.slot, shard.program,
+            [pending](const RequestResult &r) {
+                pending->lastFinish =
+                    std::max(pending->lastFinish, r.finishTime);
+                if (--pending->remaining == 0 && pending->cb)
+                    pending->cb(pending->lastFinish);
+            });
+    }
+}
+
+std::vector<DnnGraph>
+splitBatch(ModelId id, unsigned batch, unsigned shards)
+{
+    NEU10_ASSERT(shards > 0, "need at least one shard");
+    NEU10_ASSERT(batch >= shards,
+                 "cannot split batch %u across %u shards", batch,
+                 shards);
+    std::vector<DnnGraph> out;
+    unsigned left = batch;
+    for (unsigned s = 0; s < shards; ++s) {
+        const unsigned share =
+            (left + (shards - s) - 1) / (shards - s);
+        out.push_back(buildModel(id, share));
+        left -= share;
+    }
+    return out;
+}
+
+} // namespace neu10

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Multi-chip / multi-core data-parallel inference (§III-A, §IV).
+ *
+ * The guest ML framework's frontend splits a batch across the cores of
+ * a multi-core vNPU exactly as it does on physical NPUs ("TensorFlow
+ * already handles data parallelism across physical NPUs. It can work
+ * in the same way with vNPUs"). DataParallelRunner models that: one
+ * request fans out as per-core sub-batches and completes when the
+ * slowest shard does.
+ */
+
+#ifndef NEU10_RUNTIME_PARALLEL_HH
+#define NEU10_RUNTIME_PARALLEL_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "compiler/lower.hh"
+#include "models/zoo.hh"
+#include "npu/core_sim.hh"
+
+namespace neu10
+{
+
+/** Fans one logical request out across several core simulators. */
+class DataParallelRunner
+{
+  public:
+    /**
+     * @param cores  one entry per vNPU core: the core simulator and
+     *               the slot this tenant occupies on it.
+     */
+    struct Shard
+    {
+        NpuCoreSim *core;
+        std::uint32_t slot;
+        const CompiledModel *program; ///< this shard's sub-batch
+    };
+
+    explicit DataParallelRunner(std::vector<Shard> shards);
+
+    using Callback = std::function<void(Cycles finish_time)>;
+
+    /**
+     * Submit one data-parallel request: every shard gets its
+     * sub-batch; @p cb fires when the slowest shard finishes.
+     */
+    void submit(Callback cb);
+
+    size_t shardCount() const { return shards_.size(); }
+
+  private:
+    struct Pending
+    {
+        size_t remaining;
+        Cycles lastFinish = 0.0;
+        Callback cb;
+    };
+
+    std::vector<Shard> shards_;
+    std::vector<std::shared_ptr<Pending>> inflight_;
+};
+
+/**
+ * Split a model into @p shards per-core sub-batch graphs (batch is
+ * divided as evenly as possible; every shard gets at least 1).
+ */
+std::vector<DnnGraph> splitBatch(ModelId id, unsigned batch,
+                                 unsigned shards);
+
+} // namespace neu10
+
+#endif // NEU10_RUNTIME_PARALLEL_HH

@@ -1,0 +1,161 @@
+#include "runtime/serving.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/clock.hh"
+
+namespace neu10
+{
+
+double
+ServingResult::totalThroughput() const
+{
+    double total = 0.0;
+    for (const auto &t : tenants)
+        total += t.throughput;
+    return total;
+}
+
+CompiledModel
+compileFor(const TenantSpec &spec, PolicyKind policy,
+           const NpuCoreConfig &core)
+{
+    const DnnGraph graph = buildModel(spec.model, spec.batch);
+    if (policyUsesNeuIsa(policy)) {
+        // NeuISA binaries are compiled against the physical core shape
+        // so any engine allocation can execute them (§III-D).
+        return lowerToNeuIsa(graph, core.numMes, core.numVes,
+                             core.machine());
+    }
+    return lowerToVliw(graph, core.numMes, core.numVes, core.machine());
+}
+
+ServingResult
+runServing(const ServingConfig &config)
+{
+    NEU10_ASSERT(!config.tenants.empty(), "experiment needs tenants");
+
+    // Compile every tenant's model once.
+    std::vector<CompiledModel> programs;
+    programs.reserve(config.tenants.size());
+    for (const auto &spec : config.tenants)
+        programs.push_back(compileFor(spec, config.policy, config.core));
+
+    // Engine slots per tenant.
+    std::vector<VnpuSlot> slots;
+    for (const auto &spec : config.tenants) {
+        VnpuSlot s;
+        s.nMes = spec.nMes;
+        s.nVes = spec.nVes;
+        s.priority = spec.priority;
+        slots.push_back(s);
+    }
+
+    EventQueue queue;
+    NpuCoreSim core(queue, config.core, makePolicy(config.policy),
+                    std::move(slots));
+    core.setCaptureOpTimings(config.captureOpTimings);
+    core.setCaptureAssignment(config.captureAssignment);
+
+    ServingResult result;
+    result.policy = policyName(config.policy);
+    result.tenants.resize(config.tenants.size());
+    for (size_t i = 0; i < config.tenants.size(); ++i)
+        result.tenants[i].model = modelAbbrev(config.tenants[i].model);
+
+    bool stopped = false;
+    Cycles stop_time = 0.0;
+
+    auto slowest_done = [&] {
+        std::uint64_t least = ~0ull;
+        for (const auto &t : result.tenants)
+            least = std::min(least, t.completed);
+        return least;
+    };
+
+    // Closed-loop pumps: resubmit on completion until stopped.
+    std::function<void(std::uint32_t)> pump = [&](std::uint32_t slot) {
+        core.submit(
+            static_cast<std::uint32_t>(slot), &programs[slot],
+            [&, slot](const RequestResult &r) {
+                TenantResult &tr = result.tenants[slot];
+                if (!stopped) {
+                    ++tr.completed;
+                    tr.latencyCycles.add(r.latency());
+                    if (config.captureOpTimings)
+                        tr.opTimings.push_back(r.opTimings);
+                }
+                if (!stopped &&
+                    slowest_done() >= config.minRequests) {
+                    stopped = true;
+                    stop_time = queue.now();
+                    return;
+                }
+                if (!stopped)
+                    pump(slot);
+            });
+    };
+
+    for (std::uint32_t i = 0; i < config.tenants.size(); ++i)
+        for (unsigned k = 0; k < config.tenants[i].outstanding; ++k)
+            pump(i);
+
+    // Drive the simulation until the stop condition or the time cap.
+    while (!stopped && !queue.empty() &&
+           queue.now() < config.maxCycles) {
+        queue.step();
+    }
+    if (!stopped) {
+        stopped = true;
+        stop_time = queue.now();
+        warn("serving run hit the %g-cycle cap before %u requests",
+             config.maxCycles, config.minRequests);
+    }
+
+    const Cycles window = std::max(1.0, stop_time);
+    const Clock clock(config.core.freqHz);
+    result.makespan = stop_time;
+    result.meUsefulUtil = core.meUseful().utilization(0.0, window);
+    result.meHeldUtil = core.meHeld().utilization(0.0, window);
+    result.veUtil = core.veBusy().utilization(0.0, window);
+    result.avgHbmBytesPerCycle = core.hbmBytesTransferred() / window;
+
+    for (size_t i = 0; i < result.tenants.size(); ++i) {
+        TenantResult &tr = result.tenants[i];
+        const VnpuSlot &slot = core.slots()[i];
+        tr.throughput = tr.completed / clock.toSeconds(window);
+        tr.blockedFrac = slot.blockedByHarvest / window;
+        tr.reclaims = slot.reclaimPreemptions;
+        if (config.captureAssignment) {
+            tr.assignedMes = slot.assignedMes;
+            tr.assignedVes = slot.assignedVes;
+        }
+    }
+    return result;
+}
+
+const std::vector<WorkloadPair> &
+evaluationPairs()
+{
+    static const std::vector<WorkloadPair> pairs = {
+        {"DLRM+SMask", ModelId::Dlrm, ModelId::ShapeMask, 32, 8, "low"},
+        {"DLRM+RtNt", ModelId::Dlrm, ModelId::RetinaNet, 32, 32, "low"},
+        {"NCF+RsNt", ModelId::Ncf, ModelId::ResNet, 32, 32, "low"},
+        {"ENet+SMask", ModelId::EfficientNet, ModelId::ShapeMask, 32, 8,
+         "medium"},
+        {"BERT+ENet", ModelId::Bert, ModelId::EfficientNet, 32, 32,
+         "medium"},
+        {"ENet+MRCN", ModelId::EfficientNet, ModelId::MaskRcnn, 32, 8,
+         "medium"},
+        {"ENet+TFMR", ModelId::EfficientNet, ModelId::Transformer, 32,
+         32, "high"},
+        {"MNIST+RtNt", ModelId::Mnist, ModelId::RetinaNet, 32, 32,
+         "high"},
+        {"RNRS+RtNt", ModelId::ResNetRs, ModelId::RetinaNet, 32, 32,
+         "high"},
+    };
+    return pairs;
+}
+
+} // namespace neu10

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Multi-tenant serving experiments (§V-A methodology).
+ *
+ * Reproduces the paper's measurement loop: collocated tenants each run
+ * inference requests continuously (closed loop) on one physical core
+ * under a chosen design (PMT / V10 / Neu10-NH / Neu10); the run ends
+ * once every tenant has completed a minimum number of requests (or a
+ * simulated-time cap triggers). Outputs per-tenant latency
+ * distributions, throughput, harvest-blocked time (Table III), core
+ * utilizations (Fig. 22), optional per-operator timings (Fig. 23) and
+ * engine-assignment traces (Fig. 24).
+ */
+
+#ifndef NEU10_RUNTIME_SERVING_HH
+#define NEU10_RUNTIME_SERVING_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/lower.hh"
+#include "models/zoo.hh"
+#include "npu/config.hh"
+#include "npu/core_sim.hh"
+#include "sched/policy.hh"
+#include "stats/distribution.hh"
+
+namespace neu10
+{
+
+/** One collocated tenant in a serving experiment. */
+struct TenantSpec
+{
+    ModelId model = ModelId::Bert;
+    unsigned batch = 32;
+    unsigned nMes = 2;        ///< vNPU engine allocation on the core
+    unsigned nVes = 2;
+    double priority = 1.0;
+    unsigned outstanding = 1; ///< closed-loop requests in flight
+};
+
+/** Experiment configuration. */
+struct ServingConfig
+{
+    NpuCoreConfig core;
+    PolicyKind policy = PolicyKind::Neu10;
+    std::vector<TenantSpec> tenants;
+
+    /** Stop once the slowest tenant completes this many requests. */
+    unsigned minRequests = 20;
+
+    /** Hard cap on simulated cycles (guards tiny/huge model mixes). */
+    Cycles maxCycles = 4e9;
+
+    bool captureOpTimings = false;
+    bool captureAssignment = false;
+};
+
+/** Per-tenant outcome. */
+struct TenantResult
+{
+    std::string model;
+    std::uint64_t completed = 0;
+    Distribution latencyCycles;
+    double throughput = 0.0;      ///< requests / second
+    double blockedFrac = 0.0;     ///< Table III: blocked-by-harvest
+    unsigned reclaims = 0;
+
+    /** Per-request operator timings (captureOpTimings). */
+    std::vector<std::vector<OpTiming>> opTimings;
+
+    /** Engine-assignment traces (captureAssignment). */
+    TimeSeries assignedMes;
+    TimeSeries assignedVes;
+
+    /** p95 latency in cycles (Fig. 19's metric). */
+    double
+    p95() const
+    {
+        return latencyCycles.percentile(0.95);
+    }
+};
+
+/** Whole-experiment outcome. */
+struct ServingResult
+{
+    std::string policy;
+    std::vector<TenantResult> tenants;
+    Cycles makespan = 0.0;        ///< simulated cycles measured over
+    double meUsefulUtil = 0.0;    ///< Fig. 22a
+    double meHeldUtil = 0.0;
+    double veUtil = 0.0;          ///< Fig. 22b
+    double avgHbmBytesPerCycle = 0.0;
+
+    /** Aggregate throughput over tenants (requests / second). */
+    double totalThroughput() const;
+};
+
+/**
+ * Run one serving experiment. Deterministic: identical configs yield
+ * identical results.
+ */
+ServingResult runServing(const ServingConfig &config);
+
+/** Compile @p spec's model for @p policy on @p core (cached upstream
+ * by the benches; this is a pure function). */
+CompiledModel compileFor(const TenantSpec &spec, PolicyKind policy,
+                         const NpuCoreConfig &core);
+
+/** The nine workload pairs of §V-A, in paper order. */
+struct WorkloadPair
+{
+    const char *label;
+    ModelId w1;
+    ModelId w2;
+    unsigned batch1;
+    unsigned batch2;
+    const char *contention; ///< "low" / "medium" / "high"
+};
+
+/** Fig. 19-23 pair list (batch 32; 8 for MRCNN and SMask). */
+const std::vector<WorkloadPair> &evaluationPairs();
+
+} // namespace neu10
+
+#endif // NEU10_RUNTIME_SERVING_HH

@@ -1,0 +1,45 @@
+#include "sched/policy.hh"
+
+#include "common/logging.hh"
+#include "sched/neu10_policy.hh"
+#include "sched/pmt_policy.hh"
+#include "sched/v10_policy.hh"
+
+namespace neu10
+{
+
+std::string
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Neu10: return "Neu10";
+      case PolicyKind::Neu10NH: return "Neu10-NH";
+      case PolicyKind::V10: return "V10";
+      case PolicyKind::Pmt: return "PMT";
+    }
+    panic("unknown policy kind %d", static_cast<int>(kind));
+}
+
+std::unique_ptr<SchedulerPolicy>
+makePolicy(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Neu10:
+        return std::make_unique<Neu10Policy>(/*harvest=*/true);
+      case PolicyKind::Neu10NH:
+        return std::make_unique<Neu10Policy>(/*harvest=*/false);
+      case PolicyKind::V10:
+        return std::make_unique<V10Policy>();
+      case PolicyKind::Pmt:
+        return std::make_unique<PmtPolicy>();
+    }
+    panic("unknown policy kind %d", static_cast<int>(kind));
+}
+
+bool
+policyUsesNeuIsa(PolicyKind kind)
+{
+    return kind == PolicyKind::Neu10 || kind == PolicyKind::Neu10NH;
+}
+
+} // namespace neu10

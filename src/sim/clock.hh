@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Clock-domain conversions between simulated cycles and wall time.
+ *
+ * The simulated NPU core runs at a fixed frequency (1050 MHz in the
+ * paper's Table II). All simulator-internal bookkeeping is in cycles;
+ * report code converts to seconds for figures quoted in ms/us and to
+ * bytes/second for bandwidth.
+ */
+
+#ifndef NEU10_SIM_CLOCK_HH
+#define NEU10_SIM_CLOCK_HH
+
+#include "common/types.hh"
+
+namespace neu10
+{
+
+/** A fixed-frequency clock domain. */
+class Clock
+{
+  public:
+    /** @param freq_hz clock frequency in Hz (> 0). */
+    explicit constexpr Clock(double freq_hz = 1.05e9)
+        : freqHz_(freq_hz)
+    {}
+
+    constexpr double freqHz() const { return freqHz_; }
+
+    /** Duration of one cycle in seconds. */
+    constexpr double period() const { return 1.0 / freqHz_; }
+
+    /** Convert a cycle count to seconds. */
+    constexpr double toSeconds(Cycles cycles) const
+    { return cycles / freqHz_; }
+
+    /** Convert seconds to cycles. */
+    constexpr Cycles toCycles(double seconds) const
+    { return seconds * freqHz_; }
+
+    /** Convert a bytes-per-cycle rate to bytes per second. */
+    constexpr double toBytesPerSec(double bytes_per_cycle) const
+    { return bytes_per_cycle * freqHz_; }
+
+    /** Convert bytes-per-second bandwidth to bytes per cycle. */
+    constexpr double toBytesPerCycle(double bytes_per_sec) const
+    { return bytes_per_sec / freqHz_; }
+
+  private:
+    double freqHz_;
+};
+
+} // namespace neu10
+
+#endif // NEU10_SIM_CLOCK_HH

@@ -1,0 +1,93 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace neu10
+{
+
+EventId
+EventQueue::schedule(Cycles when, Callback cb, EventPriority prio)
+{
+    NEU10_ASSERT(when >= now_,
+                 "cannot schedule into the past (when=%g now=%g)",
+                 when, now_);
+    NEU10_ASSERT(cb != nullptr, "event needs a callback");
+    const EventId id = nextId_++;
+    heap_.push(Entry{when, static_cast<int>(prio), id});
+    live_.emplace(id, std::move(cb));
+    ++pendingCount_;
+    return id;
+}
+
+void
+EventQueue::deschedule(EventId id)
+{
+    auto it = live_.find(id);
+    if (it == live_.end())
+        return;
+    live_.erase(it);
+    --pendingCount_;
+}
+
+void
+EventQueue::popCancelled()
+{
+    while (!heap_.empty() && !live_.count(heap_.top().id))
+        heap_.pop();
+}
+
+bool
+EventQueue::empty() const
+{
+    return pendingCount_ == 0;
+}
+
+Cycles
+EventQueue::nextEventTime() const
+{
+    // const_cast-free scan: copy-pop is too costly, so peek through the
+    // heap top after discarding stale entries via a mutable helper.
+    auto *self = const_cast<EventQueue *>(this);
+    self->popCancelled();
+    return heap_.empty() ? kCyclesInf : heap_.top().when;
+}
+
+bool
+EventQueue::step()
+{
+    popCancelled();
+    if (heap_.empty())
+        return false;
+    const Entry e = heap_.top();
+    heap_.pop();
+    auto it = live_.find(e.id);
+    NEU10_ASSERT(it != live_.end(), "live event vanished");
+    Callback cb = std::move(it->second);
+    live_.erase(it);
+    --pendingCount_;
+    NEU10_ASSERT(e.when >= now_, "event time went backwards");
+    now_ = e.when;
+    ++executed_;
+    cb(now_);
+    return true;
+}
+
+Cycles
+EventQueue::runUntil(Cycles limit)
+{
+    while (true) {
+        popCancelled();
+        if (heap_.empty())
+            break;
+        if (heap_.top().when > limit) {
+            now_ = limit;
+            break;
+        }
+        step();
+    }
+    if (now_ < limit && limit < kCyclesInf)
+        now_ = limit;
+    return now_;
+}
+
+} // namespace neu10

@@ -1,0 +1,92 @@
+#include "stats/distribution.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace neu10
+{
+
+void
+Distribution::add(double value)
+{
+    samples_.push_back(value);
+    sum_ += value;
+    dirty_ = true;
+}
+
+double
+Distribution::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return sum_ / static_cast<double>(samples_.size());
+}
+
+double
+Distribution::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return sorted_.front();
+}
+
+double
+Distribution::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return sorted_.back();
+}
+
+double
+Distribution::percentile(double p) const
+{
+    NEU10_ASSERT(p >= 0.0 && p <= 1.0, "quantile must be in [0,1]");
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    if (sorted_.size() == 1)
+        return sorted_[0];
+    const double pos = p * static_cast<double>(sorted_.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, sorted_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double
+Distribution::stddev() const
+{
+    if (samples_.size() < 2)
+        return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double s : samples_)
+        acc += (s - m) * (s - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+void
+Distribution::reset()
+{
+    samples_.clear();
+    sorted_.clear();
+    dirty_ = false;
+    sum_ = 0.0;
+}
+
+void
+Distribution::ensureSorted() const
+{
+    if (dirty_ || sorted_.size() != samples_.size()) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        dirty_ = false;
+    }
+}
+
+} // namespace neu10

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Sample distribution with exact quantiles.
+ *
+ * Latency studies in the paper report 95th-percentile tail latency
+ * (Fig. 19); with closed-loop request streams the sample counts are small
+ * enough (thousands) that exact order statistics are affordable, so no
+ * sketching is used. Samples are stored and sorted lazily.
+ */
+
+#ifndef NEU10_STATS_DISTRIBUTION_HH
+#define NEU10_STATS_DISTRIBUTION_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace neu10
+{
+
+/** A set of scalar samples with mean/min/max/percentile queries. */
+class Distribution
+{
+  public:
+    /** Record one sample. */
+    void add(double value);
+
+    /** Number of recorded samples. */
+    size_t count() const { return samples_.size(); }
+
+    /** True if no samples were recorded. */
+    bool empty() const { return samples_.empty(); }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Smallest sample; 0 when empty. */
+    double min() const;
+
+    /** Largest sample; 0 when empty. */
+    double max() const;
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /**
+     * Exact p-quantile by linear interpolation between order statistics.
+     * @param p quantile in [0, 1], e.g. 0.95 for the p95 tail.
+     */
+    double percentile(double p) const;
+
+    /** Standard deviation (population); 0 when fewer than 2 samples. */
+    double stddev() const;
+
+    /** Drop all samples. */
+    void reset();
+
+    /** Read-only access to raw samples (unsorted insertion order). */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    void ensureSorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool dirty_ = false;
+    double sum_ = 0.0;
+};
+
+} // namespace neu10
+
+#endif // NEU10_STATS_DISTRIBUTION_HH

@@ -1,0 +1,61 @@
+#include "stats/timeseries.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace neu10
+{
+
+void
+TimeSeries::record(Cycles time, double value)
+{
+    NEU10_ASSERT(points_.empty() || time >= points_.back().time,
+                 "time series must be recorded in order");
+    // Collapse repeated identical values to bound memory.
+    if (!points_.empty() && points_.back().value == value)
+        return;
+    points_.push_back({time, value});
+}
+
+double
+TimeSeries::average(Cycles t0, Cycles t1) const
+{
+    if (points_.empty() || t1 <= t0)
+        return 0.0;
+    double weighted = 0.0;
+    for (size_t i = 0; i < points_.size(); ++i) {
+        const Cycles start = std::max(points_[i].time, t0);
+        const Cycles end = std::min(
+            i + 1 < points_.size() ? points_[i + 1].time : t1, t1);
+        if (end > start)
+            weighted += points_[i].value * (end - start);
+    }
+    return weighted / (t1 - t0);
+}
+
+std::vector<double>
+TimeSeries::rebin(Cycles t0, Cycles t1, size_t bins) const
+{
+    NEU10_ASSERT(bins > 0, "need at least one bin");
+    std::vector<double> out(bins, 0.0);
+    if (t1 <= t0)
+        return out;
+    const Cycles width = (t1 - t0) / static_cast<double>(bins);
+    for (size_t b = 0; b < bins; ++b) {
+        const Cycles lo = t0 + width * static_cast<double>(b);
+        out[b] = average(lo, lo + width);
+    }
+    return out;
+}
+
+double
+TimeSeries::peak() const
+{
+    double p = 0.0;
+    for (const auto &pt : points_)
+        p = std::max(p, pt.value);
+    return p;
+}
+
+} // namespace neu10

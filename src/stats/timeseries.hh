@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Time-series sampling for the paper's "X over time" figures.
+ *
+ * Figures 2, 3, 5, 7 and 24 plot instantaneous quantities (engine demand,
+ * utilization, HBM bandwidth, assigned engines) against time. A TimeSeries
+ * records (time, value) points and can re-bin them into fixed-width
+ * windows for printing, averaging values weighted by the time each value
+ * was held (piecewise-constant interpretation).
+ */
+
+#ifndef NEU10_STATS_TIMESERIES_HH
+#define NEU10_STATS_TIMESERIES_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace neu10
+{
+
+/** One observation: the series holds @c value from @c time onwards. */
+struct TimePoint
+{
+    Cycles time;
+    double value;
+};
+
+/** Piecewise-constant time series with windowed re-binning. */
+class TimeSeries
+{
+  public:
+    /**
+     * Record that the observed quantity changed to @p value at @p time.
+     * Times must be non-decreasing.
+     */
+    void record(Cycles time, double value);
+
+    /** Raw points in recording order. */
+    const std::vector<TimePoint> &points() const { return points_; }
+
+    /** Number of recorded points. */
+    size_t size() const { return points_.size(); }
+
+    bool empty() const { return points_.empty(); }
+
+    /**
+     * Time-weighted average of the series over [t0, t1], treating the
+     * series as constant between points. Returns 0 for an empty series.
+     */
+    double average(Cycles t0, Cycles t1) const;
+
+    /**
+     * Re-bin into @p bins equal windows over [t0, t1]; each bin holds the
+     * time-weighted mean of the series in that window.
+     */
+    std::vector<double> rebin(Cycles t0, Cycles t1, size_t bins) const;
+
+    /** Largest recorded value (0 when empty). */
+    double peak() const;
+
+    void reset() { points_.clear(); }
+
+  private:
+    std::vector<TimePoint> points_;
+};
+
+} // namespace neu10
+
+#endif // NEU10_STATS_TIMESERIES_HH

@@ -1,0 +1,61 @@
+#include "stats/utilization.hh"
+
+#include "common/logging.hh"
+
+namespace neu10
+{
+
+UtilizationTracker::UtilizationTracker(double capacity)
+    : capacity_(capacity)
+{
+    NEU10_ASSERT(capacity > 0.0, "capacity must be positive");
+}
+
+void
+UtilizationTracker::setCapacity(double capacity)
+{
+    NEU10_ASSERT(capacity > 0.0, "capacity must be positive");
+    capacity_ = capacity;
+}
+
+void
+UtilizationTracker::setBusy(Cycles time, double busy)
+{
+    NEU10_ASSERT(time >= lastTime_, "utilization updates must be ordered");
+    NEU10_ASSERT(busy >= -1e-9, "busy count cannot be negative");
+    integral_ += busy_ * (time - lastTime_);
+    lastTime_ = time;
+    busy_ = busy < 0.0 ? 0.0 : busy;
+    series_.record(time, busy_);
+}
+
+double
+UtilizationTracker::busyIntegral(Cycles time) const
+{
+    double integral = integral_;
+    if (time > lastTime_)
+        integral += busy_ * (time - lastTime_);
+    return integral;
+}
+
+double
+UtilizationTracker::utilization(Cycles t0, Cycles t1) const
+{
+    if (t1 <= t0)
+        return 0.0;
+    // The series holds the full busy-count history, so windows that start
+    // before the last update are handled exactly; the busy count before
+    // the first record is implicitly zero.
+    return series_.average(t0, t1) / capacity_;
+}
+
+void
+UtilizationTracker::reset()
+{
+    busy_ = 0.0;
+    lastTime_ = 0.0;
+    integral_ = 0.0;
+    series_.reset();
+}
+
+} // namespace neu10

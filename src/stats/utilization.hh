@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Time-weighted busy-resource integrators.
+ *
+ * The paper quantifies ME/VE utilization as the fraction of core cycles
+ * the engines are busy (Figs. 5, 22, 27). A UtilizationTracker integrates
+ * "busy units x time" for a pool of @c capacity units whose busy count
+ * changes at scheduling events, yielding exact utilization over any
+ * window without per-cycle sampling.
+ */
+
+#ifndef NEU10_STATS_UTILIZATION_HH
+#define NEU10_STATS_UTILIZATION_HH
+
+#include "common/types.hh"
+#include "stats/timeseries.hh"
+
+namespace neu10
+{
+
+/** Integrates busy-unit-cycles for a pool of identical resources. */
+class UtilizationTracker
+{
+  public:
+    /**
+     * @param capacity total number of units in the pool (e.g. 4 MEs).
+     */
+    explicit UtilizationTracker(double capacity = 1.0);
+
+    /** Change the pool capacity (partitions a pool between vNPUs). */
+    void setCapacity(double capacity);
+
+    double capacity() const { return capacity_; }
+
+    /**
+     * Report that from @p time onwards @p busy units are in use.
+     * Times must be non-decreasing.
+     */
+    void setBusy(Cycles time, double busy);
+
+    /** Busy units currently in use. */
+    double busy() const { return busy_; }
+
+    /** Integrated busy-unit-cycles in [0, time]. */
+    double busyIntegral(Cycles time) const;
+
+    /**
+     * Utilization over [t0, t1]: integral of busy units divided by
+     * capacity x window. Returns 0 for an empty window.
+     */
+    double utilization(Cycles t0, Cycles t1) const;
+
+    /** The raw busy-count series (for "over time" figures). */
+    const TimeSeries &series() const { return series_; }
+
+    void reset();
+
+  private:
+    double capacity_;
+    double busy_ = 0.0;
+    Cycles lastTime_ = 0.0;
+    double integral_ = 0.0;
+    TimeSeries series_;
+};
+
+} // namespace neu10
+
+#endif // NEU10_STATS_UTILIZATION_HH

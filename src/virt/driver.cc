@@ -1,0 +1,137 @@
+#include "virt/driver.hh"
+
+#include "common/logging.hh"
+
+namespace neu10
+{
+
+VnpuDriver::VnpuDriver(Hypervisor &hv, TenantId tenant,
+                       const VnpuConfig &config, IsolationMode isolation)
+    : hv_(hv), tenant_(tenant)
+{
+    id_ = hv_.hcCreateVnpu(tenant, config, isolation);
+}
+
+VnpuDriver::~VnpuDriver()
+{
+    if (id_ != kInvalidVnpu) {
+        try {
+            hv_.hcDestroyVnpu(tenant_, id_);
+        } catch (const std::exception &) {
+            // Destructor must not throw; teardown races are benign in
+            // the simulation.
+        }
+    }
+}
+
+const VnpuConfig &
+VnpuDriver::queryConfig() const
+{
+    return hv_.manager().get(id_).config;
+}
+
+void
+VnpuDriver::bindExecutor(CommandExecutor *executor)
+{
+    executor_ = executor;
+}
+
+void
+VnpuDriver::registerDmaBuffer(std::uint64_t guest_base, Bytes size)
+{
+    // Host backing is modeled as an identity+offset window.
+    hv_.iommu().map(id_, guest_base, nextDmaWindow_, size);
+    nextDmaWindow_ += size;
+}
+
+std::uint64_t
+VnpuDriver::memcpyToDevice(std::uint64_t guest_addr, Bytes size)
+{
+    // The device will DMA from this range: fault early (as hardware
+    // would at fetch time) if the buffer was never registered.
+    hv_.iommu().translate(id_, guest_addr, size);
+    Command cmd;
+    cmd.id = nextCommand_++;
+    cmd.kind = CommandKind::MemcpyHostToDevice;
+    cmd.dmaAddr = guest_addr;
+    cmd.size = size;
+    ring_.push_back(cmd);
+    doorbell();
+    return cmd.id;
+}
+
+std::uint64_t
+VnpuDriver::memcpyToHost(std::uint64_t guest_addr, Bytes size)
+{
+    hv_.iommu().translate(id_, guest_addr, size);
+    Command cmd;
+    cmd.id = nextCommand_++;
+    cmd.kind = CommandKind::MemcpyDeviceToHost;
+    cmd.dmaAddr = guest_addr;
+    cmd.size = size;
+    ring_.push_back(cmd);
+    doorbell();
+    return cmd.id;
+}
+
+std::uint64_t
+VnpuDriver::launch(const CompiledModel *program)
+{
+    NEU10_ASSERT(program != nullptr, "null program");
+    Command cmd;
+    cmd.id = nextCommand_++;
+    cmd.kind = CommandKind::Launch;
+    cmd.program = program;
+    ring_.push_back(cmd);
+    doorbell();
+    return cmd.id;
+}
+
+void
+VnpuDriver::doorbell()
+{
+    if (!executor_)
+        fatal("doorbell rung with no device executor bound");
+    while (!ring_.empty()) {
+        const Command cmd = ring_.front();
+        ring_.pop_front();
+        pending_.insert(cmd.id);
+        executor_->execute(id_, cmd, [this](std::uint64_t cid) {
+            complete(cid);
+        });
+    }
+}
+
+void
+VnpuDriver::complete(std::uint64_t command_id)
+{
+    pending_.erase(command_id);
+    completed_.insert(command_id);
+    if (interruptHandler_) {
+        hv_.iommu().bindInterrupt(
+            id_, 0, [this, command_id](std::uint32_t) {
+                interruptHandler_(command_id);
+            });
+        hv_.iommu().raiseInterrupt(id_, 0);
+    }
+}
+
+bool
+VnpuDriver::poll(std::uint64_t command_id) const
+{
+    return completed_.count(command_id) > 0;
+}
+
+void
+VnpuDriver::setInterruptHandler(std::function<void(std::uint64_t)> fn)
+{
+    interruptHandler_ = std::move(fn);
+}
+
+size_t
+VnpuDriver::inFlight() const
+{
+    return pending_.size();
+}
+
+} // namespace neu10

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Para-virtualized guest vNPU driver and command path (Fig. 11).
+ *
+ * The guest enqueues commands (memcpy, kernel launch, fence) into a
+ * command buffer in its own memory; the NPU fetches them directly —
+ * no hypervisor on the data path — performs DMA through the IOMMU,
+ * and reports completion via a memory-mapped status register (polling)
+ * or a remapped interrupt. The device side is a CommandExecutor bound
+ * at attach time; in this repository that is the NpuCoreSim-backed
+ * executor from src/runtime.
+ */
+
+#ifndef NEU10_VIRT_DRIVER_HH
+#define NEU10_VIRT_DRIVER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+
+#include "compiler/lower.hh"
+#include "virt/hypervisor.hh"
+
+namespace neu10
+{
+
+/** Guest-visible command kinds (Fig. 11's NPU API calls). */
+enum class CommandKind : std::uint8_t
+{
+    MemcpyHostToDevice = 0,
+    MemcpyDeviceToHost,
+    Launch,
+    Fence,
+};
+
+/** One command-buffer entry. */
+struct Command
+{
+    std::uint64_t id = 0;
+    CommandKind kind = CommandKind::Fence;
+    std::uint64_t dmaAddr = 0;            ///< guest DMA address
+    Bytes size = 0;                       ///< memcpy payload
+    const CompiledModel *program = nullptr; ///< Launch payload
+};
+
+/**
+ * Device-side consumer of commands. Completion is signalled back via
+ * the provided callback (which the driver wires to its status
+ * register and interrupt vector).
+ */
+class CommandExecutor
+{
+  public:
+    virtual ~CommandExecutor() = default;
+
+    using Completion = std::function<void(std::uint64_t command_id)>;
+
+    /** Begin executing @p cmd on behalf of @p vnpu. */
+    virtual void execute(VnpuId vnpu, const Command &cmd,
+                         Completion done) = 0;
+};
+
+/** The guest driver for one vNPU. */
+class VnpuDriver
+{
+  public:
+    /**
+     * Create the vNPU via hypercall, attach DMA and MMIO.
+     *
+     * @param hv         the hypervisor (hypercall endpoint).
+     * @param tenant     owning tenant.
+     * @param config     requested vNPU shape.
+     * @param isolation  mapping discipline.
+     */
+    VnpuDriver(Hypervisor &hv, TenantId tenant,
+               const VnpuConfig &config,
+               IsolationMode isolation = IsolationMode::Hardware);
+
+    /** Destroys the vNPU via hypercall. */
+    ~VnpuDriver();
+
+    VnpuDriver(const VnpuDriver &) = delete;
+    VnpuDriver &operator=(const VnpuDriver &) = delete;
+
+    VnpuId id() const { return id_; }
+
+    /** Query the vNPU hierarchy, as a guest framework would. */
+    const VnpuConfig &queryConfig() const;
+
+    /** Bind the device-side executor (done by the platform/runtime). */
+    void bindExecutor(CommandExecutor *executor);
+
+    /** Register a guest DMA buffer (IOMMU window). */
+    void registerDmaBuffer(std::uint64_t guest_base, Bytes size);
+
+    /** Enqueue a host->device copy; returns the command id. */
+    std::uint64_t memcpyToDevice(std::uint64_t guest_addr, Bytes size);
+
+    /** Enqueue a device->host copy. */
+    std::uint64_t memcpyToHost(std::uint64_t guest_addr, Bytes size);
+
+    /** Enqueue a kernel launch of a compiled program. */
+    std::uint64_t launch(const CompiledModel *program);
+
+    /** Poll the status register: true once the command completed. */
+    bool poll(std::uint64_t command_id) const;
+
+    /** Completion interrupt (optional alternative to polling). */
+    void setInterruptHandler(std::function<void(std::uint64_t)> fn);
+
+    /** Commands submitted but not yet completed. */
+    size_t inFlight() const;
+
+  private:
+    void doorbell();
+    void complete(std::uint64_t command_id);
+
+    Hypervisor &hv_;
+    TenantId tenant_;
+    VnpuId id_ = kInvalidVnpu;
+    CommandExecutor *executor_ = nullptr;
+
+    std::deque<Command> ring_;
+    std::unordered_set<std::uint64_t> pending_;
+    std::unordered_set<std::uint64_t> completed_;
+    std::function<void(std::uint64_t)> interruptHandler_;
+    std::uint64_t nextCommand_ = 1;
+    std::uint64_t nextDmaWindow_ = 0x1000'0000ull;
+};
+
+} // namespace neu10
+
+#endif // NEU10_VIRT_DRIVER_HH

@@ -1,0 +1,65 @@
+#include "virt/hypervisor.hh"
+
+#include "common/logging.hh"
+
+namespace neu10
+{
+
+namespace
+{
+
+/** Size of each vNPU's control-register BAR. */
+constexpr Bytes kMmioWindow = 64_KiB;
+
+} // anonymous namespace
+
+Hypervisor::Hypervisor(const NpuBoardConfig &board) : manager_(board) {}
+
+void
+Hypervisor::checkOwner(TenantId tenant, VnpuId id) const
+{
+    const Vnpu &v = manager_.get(id);
+    if (v.tenant != tenant)
+        fatal("tenant %u attempted to manage vNPU %u owned by tenant "
+              "%u", tenant, id, v.tenant);
+}
+
+VnpuId
+Hypervisor::hcCreateVnpu(TenantId tenant, const VnpuConfig &config,
+                         IsolationMode isolation)
+{
+    const VnpuId id = manager_.create(tenant, config, isolation);
+    iommu_.attach(id);
+    MmioRegion region{nextMmioBase_, kMmioWindow};
+    nextMmioBase_ += kMmioWindow;
+    mmio_.emplace(id, region);
+    return id;
+}
+
+void
+Hypervisor::hcConfigureVnpu(TenantId tenant, VnpuId id,
+                            const VnpuConfig &config)
+{
+    checkOwner(tenant, id);
+    manager_.reconfigure(id, config);
+}
+
+void
+Hypervisor::hcDestroyVnpu(TenantId tenant, VnpuId id)
+{
+    checkOwner(tenant, id);
+    iommu_.detach(id);
+    mmio_.erase(id);
+    manager_.destroy(id);
+}
+
+MmioRegion
+Hypervisor::mmioRegion(VnpuId id) const
+{
+    auto it = mmio_.find(id);
+    if (it == mmio_.end())
+        fatal("vNPU %u has no MMIO window", id);
+    return it->second;
+}
+
+} // namespace neu10

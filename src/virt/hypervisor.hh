@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Hypervisor mediation layer (§III-F).
+ *
+ * Modeled after the KVM + vfio-mdev arrangement the paper describes:
+ * the hypervisor mediates only the three management hypercalls
+ * (create / reconfigure / destroy), enforcing tenant ownership, and
+ * hands out the hypervisor-bypass plumbing — an MMIO window for the
+ * vNPU's control registers and IOMMU attachment for its DMA — so the
+ * data path never traps.
+ */
+
+#ifndef NEU10_VIRT_HYPERVISOR_HH
+#define NEU10_VIRT_HYPERVISOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "virt/iommu.hh"
+#include "virt/manager.hh"
+
+namespace neu10
+{
+
+/** Guest-visible MMIO window of one vNPU (PCIe BAR analogue). */
+struct MmioRegion
+{
+    std::uint64_t base = 0;
+    Bytes size = 0;
+};
+
+/** KVM-like hypervisor owning the vNPU manager and the IOMMU. */
+class Hypervisor
+{
+  public:
+    explicit Hypervisor(const NpuBoardConfig &board);
+
+    /**
+     * Hypercall 1: create a vNPU for @p tenant. Installs the vNPU
+     * context, attaches the IOMMU and carves an MMIO window.
+     */
+    VnpuId hcCreateVnpu(TenantId tenant, const VnpuConfig &config,
+                        IsolationMode isolation =
+                            IsolationMode::Hardware);
+
+    /**
+     * Hypercall 2: reconfigure. Only the owner may call.
+     * @throws FatalError on ownership violation.
+     */
+    void hcConfigureVnpu(TenantId tenant, VnpuId id,
+                         const VnpuConfig &config);
+
+    /** Hypercall 3: deallocate; removes DMA setup and the context. */
+    void hcDestroyVnpu(TenantId tenant, VnpuId id);
+
+    /** The vNPU's control-register window (hypervisor-bypass path). */
+    MmioRegion mmioRegion(VnpuId id) const;
+
+    VnpuManager &manager() { return manager_; }
+    const VnpuManager &manager() const { return manager_; }
+    Iommu &iommu() { return iommu_; }
+
+  private:
+    void checkOwner(TenantId tenant, VnpuId id) const;
+
+    VnpuManager manager_;
+    Iommu iommu_;
+    std::unordered_map<VnpuId, MmioRegion> mmio_;
+    std::uint64_t nextMmioBase_ = 0xf000'0000ull;
+};
+
+} // namespace neu10
+
+#endif // NEU10_VIRT_HYPERVISOR_HH

@@ -1,0 +1,96 @@
+#include "virt/memory.hh"
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace neu10
+{
+
+SegmentPool::SegmentPool(Bytes total, Bytes segment)
+    : segment_(segment)
+{
+    NEU10_ASSERT(segment > 0, "segment size must be positive");
+    totalSegments_ = static_cast<unsigned>(total / segment);
+    NEU10_ASSERT(totalSegments_ > 0, "resource smaller than a segment");
+    used_.assign(totalSegments_, false);
+}
+
+unsigned
+SegmentPool::segmentsFor(Bytes bytes) const
+{
+    if (bytes == 0)
+        return 0;
+    return static_cast<unsigned>((bytes + segment_ - 1) / segment_);
+}
+
+unsigned
+SegmentPool::freeSegments() const
+{
+    unsigned free = 0;
+    for (bool u : used_)
+        free += !u;
+    return free;
+}
+
+std::vector<unsigned>
+SegmentPool::allocate(Bytes bytes)
+{
+    const unsigned want = segmentsFor(bytes);
+    if (want > freeSegments())
+        fatal("segment pool exhausted: want %u segments of %s, %u free",
+              want, formatBytes(segment_).c_str(), freeSegments());
+    std::vector<unsigned> out;
+    out.reserve(want);
+    for (unsigned i = 0; i < totalSegments_ && out.size() < want; ++i) {
+        if (!used_[i]) {
+            used_[i] = true;
+            out.push_back(i);
+        }
+    }
+    return out;
+}
+
+void
+SegmentPool::release(const std::vector<unsigned> &segments)
+{
+    for (unsigned s : segments) {
+        NEU10_ASSERT(s < totalSegments_, "segment %u out of range", s);
+        NEU10_ASSERT(used_[s], "double free of segment %u", s);
+        used_[s] = false;
+    }
+}
+
+AddressSpace::AddressSpace(Bytes segment, std::vector<unsigned> segments)
+    : segment_(segment), segments_(std::move(segments))
+{
+    NEU10_ASSERT(segment > 0, "segment size must be positive");
+}
+
+Bytes
+AddressSpace::size() const
+{
+    return segment_ * segments_.size();
+}
+
+Bytes
+AddressSpace::translate(Bytes vaddr) const
+{
+    if (segment_ == 0 || vaddr >= size())
+        throw PageFaultError(
+            csprintf("page fault: vaddr 0x%llx outside %s space",
+                     static_cast<unsigned long long>(vaddr),
+                     formatBytes(size()).c_str()));
+    const Bytes idx = vaddr / segment_;
+    const Bytes offset = vaddr % segment_;
+    return static_cast<Bytes>(segments_[idx]) * segment_ + offset;
+}
+
+Bytes
+AddressSpace::translateRange(Bytes vaddr, Bytes bytes) const
+{
+    if (bytes > 0)
+        translate(vaddr + bytes - 1); // fault if the end is unmapped
+    return translate(vaddr);
+}
+
+} // namespace neu10

@@ -1,0 +1,141 @@
+#include "vnpu/allocator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace neu10
+{
+
+namespace
+{
+
+/** Clamp profiled ratios into the model's domain. */
+void
+sanitize(double &m, double &v)
+{
+    m = std::clamp(m, 0.0, 1.0);
+    v = std::clamp(v, 0.0, 1.0);
+    // §III-B assumes at least one engine type is active at any time
+    // (m + v >= 1). Bandwidth-bound workloads can profile below that;
+    // scale the concurrent-overlap term to zero in that case.
+    if (m + v < 1.0) {
+        const double scale = 1.0 / std::max(1e-9, m + v);
+        m *= scale;
+        v *= scale;
+    }
+}
+
+} // anonymous namespace
+
+double
+allocNormalizedTime(double m, double v, unsigned nm, unsigned nv)
+{
+    NEU10_ASSERT(nm > 0 && nv > 0, "need at least one engine each");
+    sanitize(m, v);
+    return (1.0 - v) / nm + (1.0 - m) / nv +
+           (m + v - 1.0) / std::min(nm, nv);
+}
+
+double
+allocUtilization(double m, double v, unsigned nm, unsigned nv)
+{
+    sanitize(m, v);
+    const double th = (m + v) / (nm + nv);
+    const double t = allocNormalizedTime(m, v, nm, nv);
+    return t > 0.0 ? th / t : 0.0;
+}
+
+double
+allocOptimalRatio(double m, double v)
+{
+    sanitize(m, v);
+    if (m >= 0.5 && v >= 0.5)
+        return 1.0;
+    if (m < 0.5)
+        return std::sqrt(m / (1.0 - m));
+    // v < 0.5: ME-heavy side.
+    return std::sqrt((1.0 - v) / v);
+}
+
+std::pair<unsigned, unsigned>
+allocSplitEus(double m, double v, unsigned total_eus)
+{
+    NEU10_ASSERT(total_eus >= 2, "need at least one ME and one VE");
+    const double k = allocOptimalRatio(m, v);
+
+    // nm = k * nv and nm + nv = total -> nv = total / (k + 1).
+    const double nv_exact = total_eus / (k + 1.0);
+    double best_u = -1.0;
+    std::pair<unsigned, unsigned> best{1, 1};
+    for (int delta = -1; delta <= 1; ++delta) {
+        const long nv_try =
+            std::lround(std::floor(nv_exact)) + delta;
+        if (nv_try < 1 || nv_try >= static_cast<long>(total_eus))
+            continue;
+        const auto nv = static_cast<unsigned>(nv_try);
+        const unsigned nm = total_eus - nv;
+        const double u = allocUtilization(m, v, nm, nv);
+        if (u > best_u) {
+            best_u = u;
+            best = {nm, nv};
+        }
+    }
+    return best;
+}
+
+std::vector<AllocPoint>
+allocSweep(double m, double v, unsigned max_eus)
+{
+    std::vector<AllocPoint> points;
+    const double t11 = allocNormalizedTime(m, v, 1, 1);
+    for (unsigned total = 2; total <= max_eus; ++total) {
+        const auto pick = allocSplitEus(m, v, total);
+        for (unsigned nm = 1; nm < total; ++nm) {
+            const unsigned nv = total - nm;
+            AllocPoint p;
+            p.nm = nm;
+            p.nv = nv;
+            p.utilization = allocUtilization(m, v, nm, nv);
+            p.speedup = t11 / allocNormalizedTime(m, v, nm, nv);
+            p.selected = (nm == pick.first && nv == pick.second);
+            points.push_back(p);
+        }
+    }
+    return points;
+}
+
+VnpuConfig
+allocateVnpu(const WorkloadProfile &prof, unsigned total_eus,
+             Bytes footprint, const NpuCoreConfig &core)
+{
+    const auto [nm, nv] = allocSplitEus(prof.m, prof.v, total_eus);
+
+    VnpuConfig cfg;
+    cfg.numChips = 1;
+    cfg.numCoresPerChip = 1;
+    cfg.numMesPerCore = nm;
+    cfg.numVesPerCore = nv;
+
+    // HBM: compiler footprint rounded up to isolation segments.
+    const Bytes seg = core.hbmSegment;
+    const Bytes segs = (footprint + seg - 1) / seg;
+    cfg.memSizePerCore = std::min<Bytes>(segs * seg, core.hbmBytes);
+
+    // SRAM proportional to the ME share (§III-B), segment-rounded.
+    const double me_share =
+        static_cast<double>(nm) / core.numMes;
+    const Bytes sram_want = static_cast<Bytes>(
+        std::min(1.0, me_share) * static_cast<double>(core.sramBytes));
+    const Bytes sram_segs =
+        std::max<Bytes>(1, (sram_want + core.sramSegment - 1) /
+                               core.sramSegment);
+    cfg.sramSizePerCore =
+        std::min<Bytes>(sram_segs * core.sramSegment, core.sramBytes);
+
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace neu10

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The vNPU allocator (§III-B): choosing the ME/VE split for a workload.
+ *
+ * Users specify a total number of execution units (EUs, the billing
+ * unit); the allocator picks the ME:VE ratio that maximizes EU
+ * utilization for the workload's profiled active ratios m and v:
+ *
+ *   T(nm, nv) = (1-v)/nm + (1-m)/nv + (m+v-1)/min(nm, nv)     (Eq. 1)
+ *   U = Th / T,  Th = (m+v)/(nm+nv)                           (Eq. 2)
+ *   k* = nm/nv = sqrt(m/(1-m))        if m < 0.5
+ *              = sqrt((1-v)/v)        if v < 0.5              (Eq. 4)
+ *              = 1                    if m >= 0.5 and v >= 0.5
+ *
+ * Memory: HBM capacity comes from the compiler's footprint estimate
+ * (rounded up to isolation segments); SRAM is proportional to the ME
+ * share (more MEs imply larger tiles).
+ */
+
+#ifndef NEU10_VNPU_ALLOCATOR_HH
+#define NEU10_VNPU_ALLOCATOR_HH
+
+#include <vector>
+
+#include "compiler/profile.hh"
+#include "npu/config.hh"
+#include "vnpu/config.hh"
+
+namespace neu10
+{
+
+/** Normalized execution time on (nm, nv) engines — Eq. (1). */
+double allocNormalizedTime(double m, double v, unsigned nm, unsigned nv);
+
+/** EU utilization of a configuration — Eq. (2). */
+double allocUtilization(double m, double v, unsigned nm, unsigned nv);
+
+/** Optimal ME:VE ratio k* — Eq. (4). */
+double allocOptimalRatio(double m, double v);
+
+/**
+ * Split @p total_eus into (nm, nv) following k*, each side >= 1.
+ * Among the two integer roundings the one with the better modeled
+ * utilization wins.
+ */
+std::pair<unsigned, unsigned> allocSplitEus(double m, double v,
+                                            unsigned total_eus);
+
+/** One evaluated configuration in an EU sweep (Fig. 12 data point). */
+struct AllocPoint
+{
+    unsigned nm = 0;
+    unsigned nv = 0;
+    double utilization = 0.0;   ///< Eq. (2)
+    double speedup = 0.0;       ///< 1 / T, normalized to (1,1)
+    bool selected = false;      ///< the allocator's pick at this EU count
+};
+
+/**
+ * Sweep every (nm, nv) with nm + nv == total for total in
+ * [2, max_eus], marking the allocator's selection per EU count —
+ * reproduces Fig. 12's scatter.
+ */
+std::vector<AllocPoint> allocSweep(double m, double v, unsigned max_eus);
+
+/**
+ * Full allocation for a profiled workload: engine split for the EU
+ * budget plus segment-rounded memory sizing (§III-B).
+ *
+ * @param prof       compile-time profile (m, v, footprint inputs).
+ * @param total_eus  EU budget the user pays for.
+ * @param footprint  HBM bytes the compiler estimated for the model.
+ * @param core       physical core (segment sizes, SRAM capacity).
+ */
+VnpuConfig allocateVnpu(const WorkloadProfile &prof, unsigned total_eus,
+                        Bytes footprint,
+                        const NpuCoreConfig &core = {});
+
+} // namespace neu10
+
+#endif // NEU10_VNPU_ALLOCATOR_HH

@@ -1,0 +1,56 @@
+#include "vnpu/config.hh"
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace neu10
+{
+
+void
+VnpuConfig::validate() const
+{
+    if (numChips == 0 || numCoresPerChip == 0)
+        fatal("vNPU must have at least one core");
+    if (numMesPerCore == 0 || numVesPerCore == 0)
+        fatal("every vNPU core needs at least one ME and one VE");
+}
+
+std::string
+VnpuConfig::toString() const
+{
+    return csprintf("vNPU{%ux%u cores, %uME+%uVE/core, sram=%s, "
+                    "hbm=%s}",
+                    numChips, numCoresPerChip, numMesPerCore,
+                    numVesPerCore,
+                    formatBytes(sramSizePerCore).c_str(),
+                    formatBytes(memSizePerCore).c_str());
+}
+
+VnpuConfig
+presetConfig(VnpuPreset preset)
+{
+    VnpuConfig cfg;
+    switch (preset) {
+      case VnpuPreset::Small:
+        cfg.numMesPerCore = 1;
+        cfg.numVesPerCore = 1;
+        cfg.sramSizePerCore = 32_MiB;
+        cfg.memSizePerCore = 16_GiB;
+        break;
+      case VnpuPreset::Medium:
+        cfg.numMesPerCore = 2;
+        cfg.numVesPerCore = 2;
+        cfg.sramSizePerCore = 64_MiB;
+        cfg.memSizePerCore = 32_GiB;
+        break;
+      case VnpuPreset::Large:
+        cfg.numMesPerCore = 4;
+        cfg.numVesPerCore = 4;
+        cfg.sramSizePerCore = 128_MiB;
+        cfg.memSizePerCore = 64_GiB;
+        break;
+    }
+    return cfg;
+}
+
+} // namespace neu10

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The vNPU abstraction (§III-A, Fig. 10).
+ *
+ * A vNPU instance mirrors the hierarchy of a physical NPU board — the
+ * guest driver can query chips, cores per chip, engines per core, and
+ * memory sizes — while the quantities are chosen per tenant on demand
+ * (pay-as-you-go). Cloud providers can also offer preset sizes
+ * (small/medium/large, §III-A "vNPU lifecycle").
+ */
+
+#ifndef NEU10_VNPU_CONFIG_HH
+#define NEU10_VNPU_CONFIG_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace neu10
+{
+
+/** Fig. 10's vNPU_Config, verbatim fields. */
+struct VnpuConfig
+{
+    unsigned numChips = 1;
+    unsigned numCoresPerChip = 1;
+    unsigned numMesPerCore = 1;
+    unsigned numVesPerCore = 1;
+    Bytes sramSizePerCore = 0;
+    Bytes memSizePerCore = 0;   ///< HBM capacity per core
+
+    /** Execution units per core (the pay-as-you-go cost driver). */
+    unsigned
+    eusPerCore() const
+    {
+        return numMesPerCore + numVesPerCore;
+    }
+
+    /** Total cores of the instance. */
+    unsigned
+    totalCores() const
+    {
+        return numChips * numCoresPerChip;
+    }
+
+    /** Validation: at least one ME and one VE per core (§III-B). */
+    void validate() const;
+
+    std::string toString() const;
+
+    bool operator==(const VnpuConfig &) const = default;
+};
+
+/** Provider preset sizes (§III-A: "e.g. 1/4/8 MEs/VEs"). */
+enum class VnpuPreset { Small, Medium, Large };
+
+/** Build a preset configuration on the Table II core. */
+VnpuConfig presetConfig(VnpuPreset preset);
+
+} // namespace neu10
+
+#endif // NEU10_VNPU_CONFIG_HH

@@ -1,0 +1,18 @@
+#include "vnpu/instance.hh"
+
+namespace neu10
+{
+
+std::string
+toString(VnpuState state)
+{
+    switch (state) {
+      case VnpuState::Created: return "created";
+      case VnpuState::Mapped: return "mapped";
+      case VnpuState::Active: return "active";
+      case VnpuState::Destroyed: return "destroyed";
+    }
+    return "bad-state";
+}
+
+} // namespace neu10

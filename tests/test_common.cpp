@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for src/common: logging, RNG determinism and statistics,
+ * string/unit formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/strings.hh"
+#include "common/types.hh"
+
+namespace neu10
+{
+namespace
+{
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    setLogLevel(LogLevel::Silent);
+    EXPECT_THROW(panic("boom %d", 42), PanicError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    setLogLevel(LogLevel::Silent);
+    EXPECT_THROW(fatal("user error %s", "bad config"), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Logging, PanicMessageFormatted)
+{
+    setLogLevel(LogLevel::Silent);
+    try {
+        panic("value=%d name=%s", 7, "me0");
+        FAIL() << "expected PanicError";
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "value=7 name=me0");
+    }
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Logging, AssertMacroPassesAndFails)
+{
+    setLogLevel(LogLevel::Silent);
+    EXPECT_NO_THROW(NEU10_ASSERT(1 + 1 == 2, "math works"));
+    EXPECT_THROW(NEU10_ASSERT(false, "always fails"), PanicError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Logging, WarnInformDoNotThrow)
+{
+    setLogLevel(LogLevel::Silent);
+    EXPECT_NO_THROW(warn("w"));
+    EXPECT_NO_THROW(inform("i"));
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformBoundsRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(3.0, 5.0);
+        EXPECT_GE(u, 3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng rng(99);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+    for (auto v : seen)
+        EXPECT_LT(v, 7u);
+}
+
+TEST(Rng, BelowRejectsZeroBound)
+{
+    setLogLevel(LogLevel::Silent);
+    Rng rng(1);
+    EXPECT_THROW(rng.below(0), PanicError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Rng, ExponentialMeanConverges)
+{
+    Rng rng(42);
+    double acc = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.exponential(3.0);
+    EXPECT_NEAR(acc / n, 3.0, 0.05);
+}
+
+TEST(Rng, GaussianMomentsConverge)
+{
+    Rng rng(42);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian(10.0, 2.0);
+        sum += g;
+        sq += g * g;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Strings, Csprintf)
+{
+    EXPECT_EQ(csprintf("%d-%s", 3, "x"), "3-x");
+    EXPECT_EQ(csprintf("empty"), "empty");
+}
+
+TEST(Strings, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512B");
+    EXPECT_EQ(formatBytes(10590000), "10.59MB");
+    EXPECT_EQ(formatBytes(1270000000), "1.27GB");
+}
+
+TEST(Strings, FormatBandwidth)
+{
+    EXPECT_EQ(formatBandwidth(1.2e12), "1.20 TB/s");
+    EXPECT_EQ(formatBandwidth(347.59e9), "347.59 GB/s");
+}
+
+TEST(Strings, FormatSeconds)
+{
+    EXPECT_EQ(formatSeconds(2.5), "2.500s");
+    EXPECT_EQ(formatSeconds(0.0035), "3.500ms");
+    EXPECT_EQ(formatSeconds(42e-6), "42.0us");
+}
+
+TEST(Strings, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Types, ByteLiterals)
+{
+    EXPECT_EQ(1_KiB, 1024ull);
+    EXPECT_EQ(2_MiB, 2ull << 20);
+    EXPECT_EQ(64_GiB, 64ull << 30);
+}
+
+} // anonymous namespace
+} // namespace neu10

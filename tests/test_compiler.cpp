@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Unit tests for the compiler: graph validation, cost model, NeuISA and
+ * VLIW lowering (tiling, fusion, reduction partitioning, chunking),
+ * instruction emission, and the m/v profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "compiler/graph.hh"
+#include "compiler/lower.hh"
+#include "compiler/machine.hh"
+#include "compiler/profile.hh"
+#include "isa/interpreter.hh"
+
+namespace neu10
+{
+namespace
+{
+
+DnnGraph
+tinyGraph()
+{
+    DnnGraph g;
+    g.model = "tiny";
+    g.batch = 8;
+    TensorOp mm;
+    mm.name = "mm";
+    mm.kind = OpKind::MatMul;
+    mm.macs = 256.0 * 256 * 256;
+    mm.meEfficiency = 1.0;
+    mm.parallelTiles = 4;
+    mm.bytes = 1_MiB;
+    g.ops.push_back(mm);
+
+    TensorOp relu;
+    relu.name = "relu";
+    relu.kind = OpKind::Vector;
+    relu.veElems = 256.0 * 256;
+    relu.fuseWithPrev = true;
+    relu.deps = {0};
+    g.ops.push_back(relu);
+
+    TensorOp softmax;
+    softmax.name = "softmax";
+    softmax.kind = OpKind::Vector;
+    softmax.veElems = 50000.0;
+    softmax.deps = {0};
+    g.ops.push_back(softmax);
+    g.hbmFootprint = 100_MiB;
+    return g;
+}
+
+// ------------------------------------------------------------- graph
+
+TEST(Graph, ValidGraphPasses)
+{
+    EXPECT_NO_THROW(tinyGraph().validate());
+}
+
+TEST(Graph, ForwardDepRejected)
+{
+    setLogLevel(LogLevel::Silent);
+    DnnGraph g = tinyGraph();
+    g.ops[0].deps = {2};
+    EXPECT_THROW(g.validate(), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Graph, VectorOpWithMacsRejected)
+{
+    setLogLevel(LogLevel::Silent);
+    DnnGraph g = tinyGraph();
+    g.ops[2].macs = 100.0;
+    EXPECT_THROW(g.validate(), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Graph, FusedOpNeedsSingleVectorProducer)
+{
+    setLogLevel(LogLevel::Silent);
+    DnnGraph g = tinyGraph();
+    g.ops[1].deps = {};
+    EXPECT_THROW(g.validate(), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Graph, EfficiencyRangeEnforced)
+{
+    setLogLevel(LogLevel::Silent);
+    DnnGraph g = tinyGraph();
+    g.ops[0].meEfficiency = 1.5;
+    EXPECT_THROW(g.validate(), FatalError);
+    g.ops[0].meEfficiency = 0.0;
+    EXPECT_THROW(g.validate(), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Graph, Totals)
+{
+    DnnGraph g = tinyGraph();
+    EXPECT_DOUBLE_EQ(g.totalMacs(), 256.0 * 256 * 256);
+    EXPECT_DOUBLE_EQ(g.totalVeElems(), 256.0 * 256 + 50000.0);
+    EXPECT_EQ(g.totalBytes(), 1_MiB);
+}
+
+// ----------------------------------------------------------- machine
+
+TEST(Machine, TableIIThroughputs)
+{
+    MachineModel m;
+    EXPECT_DOUBLE_EQ(m.meMacsPerCycle(), 128.0 * 128);
+    EXPECT_DOUBLE_EQ(m.veElemsPerCycle(), 128.0 * 8);
+    EXPECT_DOUBLE_EQ(m.freqHz, 1.05e9);
+}
+
+TEST(Machine, CycleConversions)
+{
+    MachineModel m;
+    EXPECT_DOUBLE_EQ(m.meCyclesFor(16384.0), 1.0);
+    EXPECT_DOUBLE_EQ(m.meCyclesFor(16384.0, 0.5), 2.0);
+    EXPECT_DOUBLE_EQ(m.veCyclesFor(1024.0), 1.0);
+}
+
+// ------------------------------------------------------ neuisa lower
+
+TEST(LowerNeuIsa, FusionFoldsIntoProducer)
+{
+    CompiledModel cm = lowerToNeuIsa(tinyGraph(), 4, 4);
+    // mm + fused relu collapse into one compiled op; softmax separate.
+    ASSERT_EQ(cm.ops.size(), 2u);
+    EXPECT_EQ(cm.ops[0].name, "mm");
+    EXPECT_GT(cm.ops[0].totalVeTime(), 0.0); // carries the fused ReLU
+    EXPECT_EQ(cm.ops[1].name, "softmax");
+    EXPECT_EQ(cm.ops[1].deps, (std::vector<std::uint32_t>{0}));
+}
+
+TEST(LowerNeuIsa, TilesBoundedByNxAndParallelism)
+{
+    DnnGraph g = tinyGraph();
+    CompiledModel cm = lowerToNeuIsa(g, 4, 4);
+    EXPECT_EQ(cm.ops[0].groups[0].units.size(), 4u);
+
+    g.ops[0].parallelTiles = 2; // fewer independent tiles than MEs
+    // Small op (1024 ME cycles < reduction threshold): no reduction,
+    // just 2 uTOps.
+    g.ops[0].macs = 1024.0 * 16384;
+    CompiledModel cm2 = lowerToNeuIsa(g, 4, 4);
+    EXPECT_EQ(cm2.ops[0].groups[0].units.size(), 2u);
+}
+
+TEST(LowerNeuIsa, WorkConservedAcrossTiling)
+{
+    const DnnGraph g = tinyGraph();
+    const MachineModel m;
+    for (unsigned nx : {1u, 2u, 4u, 8u}) {
+        CompiledModel cm = lowerToNeuIsa(g, nx, 4);
+        EXPECT_NEAR(cm.totalMeBusy(),
+                    m.meCyclesFor(g.ops[0].macs), 1e-6)
+            << "nx=" << nx;
+        EXPECT_NEAR(cm.totalVeBusy(),
+                    m.veCyclesFor(g.totalVeElems()), 1e-6);
+        EXPECT_NEAR(static_cast<double>(cm.totalBytes()),
+                    static_cast<double>(g.totalBytes()), 2.0);
+    }
+}
+
+TEST(LowerNeuIsa, ReductionPartitionAddsSummationGroup)
+{
+    DnnGraph g = tinyGraph();
+    g.ops[0].parallelTiles = 1;       // only reduction-dim available
+    g.ops[0].macs = 4096.0 * 16384;   // big enough to warrant it
+    g.ops[1].veElems = 65536.0;       // fused work to serialize
+    CompiledModel cm = lowerToNeuIsa(g, 4, 4);
+
+    const CompiledOp &op = cm.ops[0];
+    // Chunked ME groups first, then exactly one summation VE group.
+    ASSERT_GE(op.groups.size(), 2u);
+    const WorkGroup &last = op.groups.back();
+    ASSERT_EQ(last.units.size(), 1u);
+    EXPECT_EQ(last.units[0].kind, UTopKind::Ve);
+    // ME uTOps must carry no pipelined VE work (the NeuISA overhead).
+    for (size_t i = 0; i + 1 < op.groups.size(); ++i)
+        for (const auto &u : op.groups[i].units)
+            EXPECT_DOUBLE_EQ(u.veTime, 0.0);
+    // Summation includes partial-sum adds beyond the fused work.
+    const MachineModel m;
+    EXPECT_GT(last.units[0].veTime, m.veCyclesFor(65536.0));
+}
+
+TEST(LowerNeuIsa, LargeOpsChunkIntoBoundedGroups)
+{
+    DnnGraph g = tinyGraph();
+    g.ops[0].macs = 1e12; // enormous operator
+    CompiledModel cm = lowerToNeuIsa(g, 4, 4);
+    EXPECT_GT(cm.ops[0].groups.size(), 1u);
+    EXPECT_LE(cm.ops[0].groups.size(), 16u);
+    // Work still conserved.
+    const MachineModel m;
+    EXPECT_NEAR(cm.totalMeBusy(), m.meCyclesFor(1e12), 1e-3);
+}
+
+TEST(LowerNeuIsa, VeOnlyOpsChunkToo)
+{
+    DnnGraph g = tinyGraph();
+    g.ops[2].veElems = 1e9; // ~1M VE cycles
+    CompiledModel cm = lowerToNeuIsa(g, 4, 4);
+    const CompiledOp &sm = cm.ops[1];
+    EXPECT_GT(sm.groups.size(), 1u);
+    EXPECT_LE(sm.groups.size(), 16u);
+    for (const auto &grp : sm.groups) {
+        ASSERT_EQ(grp.units.size(), 1u);
+        EXPECT_EQ(grp.units[0].kind, UTopKind::Ve);
+    }
+}
+
+// -------------------------------------------------------- vliw lower
+
+TEST(LowerVliw, OperatorsGangAllMes)
+{
+    CompiledModel cm = lowerToVliw(tinyGraph(), 4, 4);
+    ASSERT_EQ(cm.ops.size(), 2u);
+    const WorkUnit &u = cm.ops[0].groups[0].units[0];
+    EXPECT_EQ(u.kind, UTopKind::Me);
+    EXPECT_EQ(u.gang, 4u);
+    EXPECT_DOUBLE_EQ(u.meEff, 1.0); // 4 tiles fill 4 MEs
+}
+
+TEST(LowerVliw, FalseCouplingWastesEngines)
+{
+    DnnGraph g = tinyGraph();
+    g.ops[0].parallelTiles = 2;
+    g.ops[0].macs = 1024.0 * 16384; // small: no reduction partition
+    CompiledModel cm = lowerToVliw(g, 4, 4);
+    const WorkUnit &u = cm.ops[0].groups[0].units[0];
+    EXPECT_EQ(u.gang, 4u);                 // occupies all 4 MEs...
+    EXPECT_DOUBLE_EQ(u.meEff, 0.5);        // ...but only 2 do work
+}
+
+TEST(LowerVliw, ReductionPartitionPipelinesWithoutPenalty)
+{
+    DnnGraph g = tinyGraph();
+    g.ops[0].parallelTiles = 1;
+    g.ops[0].macs = 4096.0 * 16384;
+    CompiledModel cm = lowerToVliw(g, 4, 4);
+    const CompiledOp &op = cm.ops[0];
+    // One group, full efficiency: VLIW pipelines the partial sums.
+    EXPECT_EQ(op.groups.size(), 1u);
+    EXPECT_DOUBLE_EQ(op.groups[0].units[0].meEff, 1.0);
+    EXPECT_GT(op.groups[0].units[0].veTime, 0.0);
+}
+
+TEST(LowerVliw, NeuIsaVsVliwLatencyGapIsTheFig16Overhead)
+{
+    // For a reduction-partitioned op, NeuISA serializes the summation;
+    // VLIW pipelines it. NeuISA total VE >= VLIW VE (extra adds).
+    DnnGraph g = tinyGraph();
+    g.ops[0].parallelTiles = 1;
+    g.ops[0].macs = 4096.0 * 16384;
+    CompiledModel neu = lowerToNeuIsa(g, 4, 4);
+    CompiledModel vliw = lowerToVliw(g, 4, 4);
+    EXPECT_GT(neu.totalVeBusy(), vliw.totalVeBusy());
+    EXPECT_NEAR(neu.totalMeBusy(), vliw.totalMeBusy(), 1e-6);
+}
+
+// ------------------------------------------------------ program emit
+
+TEST(EmitProgram, ListingValidatesAndRuns)
+{
+    DnnGraph g = tinyGraph();
+    g.ops[0].macs = 64.0 * 16384; // keep the listing small
+    g.ops[2].veElems = 1024.0;
+    NeuIsaProgram prog = emitNeuIsaProgram(g, 4, 4);
+    EXPECT_NO_THROW(prog.validate());
+
+    Interpreter interp;
+    const auto res = interp.runProgram(prog);
+    EXPECT_EQ(res.groupsExecuted, prog.table.size());
+    EXPECT_GT(res.instsExecuted, 0u);
+}
+
+TEST(EmitProgram, SharedSnippetsLimitCodeInflation)
+{
+    DnnGraph g = tinyGraph();
+    // Big enough that the op splits into 4 identical tile uTOps.
+    g.ops[0].macs = 4096.0 * 16384;
+    NeuIsaProgram prog = emitNeuIsaProgram(g, 4, 4);
+    // Four identical tiles share one snippet.
+    size_t entries = 0;
+    for (const auto &grp : prog.table)
+        entries += grp.size();
+    EXPECT_LT(prog.snippets.size(), entries);
+}
+
+TEST(EmitProgram, HugeModelsRefused)
+{
+    setLogLevel(LogLevel::Silent);
+    DnnGraph g = tinyGraph();
+    g.ops[0].macs = 1e13;
+    EXPECT_THROW(emitNeuIsaProgram(g, 4, 4), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+// ----------------------------------------------------------- profile
+
+TEST(Profile, ActiveRatiosInRange)
+{
+    const auto p = profileWorkload(tinyGraph(), 4, 4, 1143.0);
+    EXPECT_GT(p.m, 0.0);
+    EXPECT_LE(p.m, 1.0);
+    EXPECT_GT(p.v, 0.0);
+    EXPECT_LE(p.v, 1.0);
+}
+
+TEST(Profile, TimelineCoversAllUnfusedOps)
+{
+    const auto p = profileWorkload(tinyGraph(), 4, 4, 1143.0);
+    ASSERT_EQ(p.timeline.size(), 2u); // mm(+fused relu), softmax
+    EXPECT_DOUBLE_EQ(p.timeline[0].start, 0.0);
+    EXPECT_DOUBLE_EQ(p.timeline[1].start, p.timeline[0].end);
+    EXPECT_DOUBLE_EQ(p.demandTime, p.timeline[1].end);
+}
+
+TEST(Profile, DemandsRespectCoreSize)
+{
+    const auto p = profileWorkload(tinyGraph(), 4, 2, 1143.0);
+    for (const auto &op : p.timeline) {
+        EXPECT_LE(op.demandMe, 4u);
+        EXPECT_LE(op.demandVe, 2u);
+    }
+    EXPECT_EQ(p.timeline[1].demandMe, 0u); // softmax needs no ME
+}
+
+TEST(Profile, MeIntensiveOpDemandsMoreMes)
+{
+    const auto p = profileWorkload(tinyGraph(), 4, 4, 1143.0);
+    EXPECT_GE(p.timeline[0].demandMe, 2u);
+}
+
+TEST(Profile, UsefulMeExcludesOccupancyWaste)
+{
+    DnnGraph g = tinyGraph();
+    g.ops[0].meEfficiency = 0.1; // low array fill
+    const auto p = profileWorkload(g, 4, 4, 1143.0);
+    EXPECT_GT(p.meBusy, p.meUseful * 5.0);
+}
+
+// Property sweep: work conservation under every lowering shape.
+class LowerSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(LowerSweep, MeWorkIndependentOfCoreShape)
+{
+    const auto [nx, ny] = GetParam();
+    const DnnGraph g = tinyGraph();
+    const MachineModel m;
+    CompiledModel cm = lowerToNeuIsa(g, nx, ny);
+    EXPECT_NEAR(cm.totalMeBusy(), m.meCyclesFor(g.ops[0].macs), 1e-6);
+    CompiledModel cv = lowerToVliw(g, nx, ny);
+    EXPECT_NEAR(cv.totalMeBusy(), m.meCyclesFor(g.ops[0].macs), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoreShapes, LowerSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(1, 2, 4, 8)));
+
+} // anonymous namespace
+} // namespace neu10

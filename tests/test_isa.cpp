@@ -1,0 +1,519 @@
+/**
+ * @file
+ * Unit tests for the ISA library: slot timing, VLIW structural rules,
+ * NeuISA validation, control-flow interpretation (incl. the Fig. 15
+ * loop and the divergent-nextGroup exception), and the binary codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/builders.hh"
+#include "isa/encoding.hh"
+#include "isa/interpreter.hh"
+#include "isa/neuisa.hh"
+#include "isa/ops.hh"
+#include "isa/vliw.hh"
+
+namespace neu10
+{
+namespace
+{
+
+// ---------------------------------------------------------------- ops
+
+TEST(Ops, MeTimingMatchesPaper)
+{
+    // Fig. 6: a pop takes 8 cycles, a VE op takes 1.
+    EXPECT_DOUBLE_EQ(meOpCycles(MeOpcode::Pop), 8.0);
+    EXPECT_DOUBLE_EQ(meOpCycles(MeOpcode::Push), 1.0);
+    EXPECT_DOUBLE_EQ(meOpCycles(MeOpcode::Nop), 0.0);
+    EXPECT_DOUBLE_EQ(veOpCycles(VeOpcode::Relu), 1.0);
+    EXPECT_DOUBLE_EQ(veOpCycles(VeOpcode::Nop), 0.0);
+}
+
+TEST(Ops, MnemonicsAreStable)
+{
+    EXPECT_EQ(toString(MeOpcode::Pop), "pop");
+    EXPECT_EQ(toString(VeOpcode::Relu), "relu");
+    EXPECT_EQ(toString(MiscOpcode::UTopNextGroup), "uTop.nextGroup");
+    EXPECT_EQ(toString(MiscOpcode::UTopFinish), "uTop.finish");
+}
+
+// --------------------------------------------------------------- vliw
+
+TEST(Vliw, BundleLatencyIsSlowestSlot)
+{
+    VliwInstruction inst;
+    inst.me = {{MeOpcode::Pop, 0}};
+    inst.ve = {{VeOpcode::Relu, 0, 0, 0}};
+    EXPECT_DOUBLE_EQ(inst.latency(), 8.0);
+    inst.me[0].op = MeOpcode::Nop;
+    EXPECT_DOUBLE_EQ(inst.latency(), 1.0);
+}
+
+TEST(Vliw, ProgramValidatesSlotWidths)
+{
+    setLogLevel(LogLevel::Silent);
+    VliwProgram prog;
+    prog.numMeSlots = 2;
+    prog.numVeSlots = 2;
+    VliwInstruction bad;
+    bad.me.resize(1); // wrong width
+    bad.ve.resize(2);
+    prog.code.push_back(bad);
+    EXPECT_THROW(prog.validate(), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Vliw, ProgramRejectsControlOps)
+{
+    setLogLevel(LogLevel::Silent);
+    VliwProgram prog;
+    prog.numMeSlots = 1;
+    prog.numVeSlots = 1;
+    VliwInstruction inst;
+    inst.me.resize(1);
+    inst.ve.resize(1);
+    inst.misc.op = MiscOpcode::UTopFinish;
+    prog.code.push_back(inst);
+    EXPECT_THROW(prog.validate(), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Vliw, MatmulReluBuilderShapes)
+{
+    VliwProgram prog = makeVliwMatmulRelu(2, 2, 4);
+    EXPECT_EQ(prog.numMeSlots, 2u);
+    // push + 4 x (pop, relu)
+    EXPECT_EQ(prog.code.size(), 9u);
+    // Every ME pop contributes 8 busy cycles: 2 MEs x 4 pops x 8
+    // + 2 pushes.
+    EXPECT_DOUBLE_EQ(prog.totalMeBusy(), 2 * 4 * 8.0 + 2.0);
+    EXPECT_DOUBLE_EQ(prog.totalVeBusy(), 2 * 4 * 1.0);
+}
+
+TEST(Vliw, MatmulReluVeMostlyIdle)
+{
+    // The paper's Fig. 6 point: in the fused ME-intensive operator the
+    // VEs idle for most of the runtime under lockstep VLIW issue.
+    VliwProgram prog = makeVliwMatmulRelu(2, 2, 8);
+    const double ve_busy = prog.totalVeBusy() / 2.0; // per VE
+    const double total = prog.totalLatency();
+    EXPECT_LT(ve_busy / total, 0.15);
+}
+
+// ------------------------------------------------------------- neuisa
+
+TEST(NeuIsa, MatmulReluBuilderValidates)
+{
+    NeuIsaProgram prog = makeNeuIsaMatmulRelu(4, 2, 8);
+    EXPECT_EQ(prog.table.size(), 1u);
+    EXPECT_EQ(prog.table[0].meUTops.size(), 4u);
+    EXPECT_EQ(prog.snippets.size(), 1u); // shared snippet, no inflation
+    EXPECT_NO_THROW(prog.validate());
+}
+
+TEST(NeuIsa, GroupWidthEnforced)
+{
+    setLogLevel(LogLevel::Silent);
+    NeuIsaProgram prog = makeNeuIsaMatmulRelu(2, 2, 1);
+    prog.table[0].meUTops.push_back(0); // 3 > nx = 2
+    EXPECT_THROW(prog.validate(), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(NeuIsa, MeUTopMustHaveOneMeSlot)
+{
+    setLogLevel(LogLevel::Silent);
+    NeuIsaProgram prog = makeNeuIsaMatmulRelu(1, 2, 1);
+    prog.snippets[0].code[0].me.clear(); // strip the ME slot
+    EXPECT_THROW(prog.validate(), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(NeuIsa, SnippetMustEndInFinish)
+{
+    setLogLevel(LogLevel::Silent);
+    NeuIsaProgram prog = makeNeuIsaMatmulRelu(1, 2, 1);
+    prog.snippets[0].code.pop_back(); // drop uTop.finish
+    EXPECT_THROW(prog.validate(), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(NeuIsa, KindMismatchInTableRejected)
+{
+    setLogLevel(LogLevel::Silent);
+    NeuIsaProgram prog = makeNeuIsaMatmulRelu(1, 2, 1);
+    UTopGroup g;
+    g.veUTop = 0; // snippet 0 is an ME uTOp
+    prog.table.push_back(g);
+    EXPECT_THROW(prog.validate(), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(NeuIsa, VeUTopWithMeCostRejected)
+{
+    setLogLevel(LogLevel::Silent);
+    NeuIsaProgram prog = makeNeuIsaLoop(1, 2);
+    prog.snippets[2].cost.meCycles = 5.0; // VE uTOp with ME cost
+    EXPECT_THROW(prog.validate(), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(NeuIsa, StaticCostCountsSharedSnippetsPerAppearance)
+{
+    NeuIsaProgram prog = makeNeuIsaMatmulRelu(4, 2, 8);
+    const UTopCost c = prog.staticCost();
+    EXPECT_DOUBLE_EQ(c.meCycles, 4 * 8 * 8.0);
+    EXPECT_DOUBLE_EQ(c.veCycles, 4 * 8 * 1.0);
+}
+
+TEST(NeuIsa, DisassemblyMentionsStructure)
+{
+    NeuIsaProgram prog = makeNeuIsaMatmulRelu(2, 2, 1);
+    const std::string s = prog.toString();
+    EXPECT_NE(s.find("group 0"), std::string::npos);
+    EXPECT_NE(s.find("ME[0]"), std::string::npos);
+}
+
+// -------------------------------------------------------- interpreter
+
+TEST(Interpreter, StraightLineProgramRunsAllGroups)
+{
+    NeuIsaProgram prog = makeNeuIsaMatmulRelu(3, 2, 2);
+    Interpreter interp;
+    const auto res = interp.runProgram(prog);
+    EXPECT_EQ(res.groupsExecuted, 1u);
+    EXPECT_EQ(res.uTopsExecuted, 3u);
+    EXPECT_EQ(res.groupTrace, (std::vector<std::uint32_t>{0}));
+}
+
+TEST(Interpreter, Fig15LoopIteratesExactly)
+{
+    for (unsigned iters : {1u, 2u, 7u}) {
+        NeuIsaProgram prog = makeNeuIsaLoop(iters, 2);
+        Interpreter interp;
+        const auto res = interp.runProgram(prog);
+        // Each iteration runs groups 0,1,2.
+        EXPECT_EQ(res.groupsExecuted, 3u * iters) << iters;
+        EXPECT_EQ(interp.scratch(0),
+                  static_cast<std::int64_t>(iters)) << iters;
+        EXPECT_EQ(res.groupTrace.front(), 0u);
+        EXPECT_EQ(res.groupTrace.back(), 2u);
+    }
+}
+
+TEST(Interpreter, ScratchPersistsAcrossGroups)
+{
+    NeuIsaProgram prog = makeNeuIsaLoop(3, 1, 5);
+    Interpreter interp;
+    interp.setScratch(5, 1); // pre-charge the counter: one fewer lap
+    const auto res = interp.runProgram(prog);
+    EXPECT_EQ(res.groupsExecuted, 3u * 2);
+    EXPECT_EQ(interp.scratch(5), 3);
+}
+
+TEST(Interpreter, DivergentNextGroupRaisesException)
+{
+    setLogLevel(LogLevel::Silent);
+    // Two ME uTOps in one group requesting different targets.
+    NeuIsaProgram prog;
+    prog.maxMeUTopsPerGroup = 2;
+    prog.numVeSlots = 1;
+
+    auto make_jumper = [&](std::int64_t target) {
+        UTop u;
+        u.kind = UTopKind::Me;
+        VliwInstruction set;
+        set.me.resize(1);
+        set.ve.resize(1);
+        set.misc = {MiscOpcode::SLoadImm, 1, 0, 0, target};
+        u.code.push_back(set);
+        VliwInstruction jmp;
+        jmp.me.resize(1);
+        jmp.ve.resize(1);
+        jmp.misc = {MiscOpcode::UTopNextGroup, 0, 1, 0, 0};
+        u.code.push_back(jmp);
+        VliwInstruction fin;
+        fin.me.resize(1);
+        fin.ve.resize(1);
+        fin.misc.op = MiscOpcode::UTopFinish;
+        u.code.push_back(fin);
+        return u;
+    };
+    prog.snippets.push_back(make_jumper(0));
+    prog.snippets.push_back(make_jumper(1));
+    UTopGroup g;
+    g.meUTops = {0, 1};
+    prog.table.push_back(g);
+    // Also a second group so target 1 is in range.
+    UTopGroup g1;
+    g1.meUTops = {0};
+    prog.table.push_back(g1);
+
+    Interpreter interp;
+    interp.setInstLimit(1000);
+    EXPECT_THROW(interp.runProgram(prog), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Interpreter, AgreeingNextGroupIsAllowed)
+{
+    // Mirror of the divergence test but with matching targets: legal.
+    NeuIsaProgram prog;
+    prog.maxMeUTopsPerGroup = 2;
+    prog.numVeSlots = 1;
+    auto make_jumper = [&]() {
+        UTop u;
+        u.kind = UTopKind::Me;
+        VliwInstruction set;
+        set.me.resize(1);
+        set.ve.resize(1);
+        set.misc = {MiscOpcode::SLoadImm, 1, 0, 0, 2};
+        u.code.push_back(set);
+        VliwInstruction jmp;
+        jmp.me.resize(1);
+        jmp.ve.resize(1);
+        jmp.misc = {MiscOpcode::UTopNextGroup, 0, 1, 0, 0};
+        u.code.push_back(jmp);
+        VliwInstruction fin;
+        fin.me.resize(1);
+        fin.ve.resize(1);
+        fin.misc.op = MiscOpcode::UTopFinish;
+        u.code.push_back(fin);
+        return u;
+    };
+    prog.snippets.push_back(make_jumper());
+    UTop plain;
+    plain.kind = UTopKind::Me;
+    VliwInstruction fin;
+    fin.me.resize(1);
+    fin.ve.resize(1);
+    fin.misc.op = MiscOpcode::UTopFinish;
+    plain.code.push_back(fin);
+    prog.snippets.push_back(plain);
+
+    UTopGroup g0;
+    g0.meUTops = {0, 0}; // both jump to group 2
+    UTopGroup g1;
+    g1.meUTops = {1};
+    UTopGroup g2;
+    g2.meUTops = {1};
+    prog.table = {g0, g1, g2};
+
+    Interpreter interp;
+    const auto res = interp.runProgram(prog);
+    // Group 1 skipped: trace is 0, 2.
+    EXPECT_EQ(res.groupTrace, (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST(Interpreter, OutOfRangeNextGroupRejected)
+{
+    setLogLevel(LogLevel::Silent);
+    NeuIsaProgram prog;
+    prog.maxMeUTopsPerGroup = 1;
+    prog.numVeSlots = 1;
+    UTop u;
+    u.kind = UTopKind::Me;
+    VliwInstruction set;
+    set.me.resize(1);
+    set.ve.resize(1);
+    set.misc = {MiscOpcode::SLoadImm, 1, 0, 0, 42};
+    u.code.push_back(set);
+    VliwInstruction jmp;
+    jmp.me.resize(1);
+    jmp.ve.resize(1);
+    jmp.misc = {MiscOpcode::UTopNextGroup, 0, 1, 0, 0};
+    u.code.push_back(jmp);
+    VliwInstruction fin;
+    fin.me.resize(1);
+    fin.ve.resize(1);
+    fin.misc.op = MiscOpcode::UTopFinish;
+    u.code.push_back(fin);
+    prog.snippets.push_back(u);
+    UTopGroup g;
+    g.meUTops = {0};
+    prog.table.push_back(g);
+
+    Interpreter interp;
+    EXPECT_THROW(interp.runProgram(prog), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Interpreter, RegisterZeroIsHardwired)
+{
+    NeuIsaProgram prog = makeNeuIsaLoop(1, 1);
+    // Writing to %r0 must not stick: craft a uTOp that tries.
+    UTop u;
+    u.kind = UTopKind::Ve;
+    VliwInstruction w0;
+    w0.ve.resize(1);
+    w0.misc = {MiscOpcode::SLoadImm, 0, 0, 0, 99}; // write %r0
+    u.code.push_back(w0);
+    VliwInstruction st;
+    st.ve.resize(1);
+    st.misc = {MiscOpcode::SStore, 0, 0, 0, 7}; // scratch[7] = %r0
+    u.code.push_back(st);
+    VliwInstruction fin;
+    fin.ve.resize(1);
+    fin.misc.op = MiscOpcode::UTopFinish;
+    u.code.push_back(fin);
+
+    Interpreter interp;
+    auto res = interp.runUTop(u, 0, 0);
+    EXPECT_TRUE(res.finished);
+    EXPECT_EQ(interp.scratch(7), 0);
+}
+
+TEST(Interpreter, GroupAndIndexControlOps)
+{
+    UTop u;
+    u.kind = UTopKind::Ve;
+    VliwInstruction g;
+    g.ve.resize(1);
+    g.misc = {MiscOpcode::UTopGroup, 1, 0, 0, 0};
+    u.code.push_back(g);
+    VliwInstruction i;
+    i.ve.resize(1);
+    i.misc = {MiscOpcode::UTopIndex, 2, 0, 0, 0};
+    u.code.push_back(i);
+    VliwInstruction s1;
+    s1.ve.resize(1);
+    s1.misc = {MiscOpcode::SStore, 0, 1, 0, 0};
+    u.code.push_back(s1);
+    VliwInstruction s2;
+    s2.ve.resize(1);
+    s2.misc = {MiscOpcode::SStore, 0, 2, 0, 1};
+    u.code.push_back(s2);
+    VliwInstruction fin;
+    fin.ve.resize(1);
+    fin.misc.op = MiscOpcode::UTopFinish;
+    u.code.push_back(fin);
+
+    Interpreter interp;
+    interp.runUTop(u, 5, 3);
+    EXPECT_EQ(interp.scratch(0), 5);
+    EXPECT_EQ(interp.scratch(1), 3);
+}
+
+TEST(Interpreter, MissingFinishPanics)
+{
+    setLogLevel(LogLevel::Silent);
+    UTop u;
+    u.kind = UTopKind::Ve;
+    VliwInstruction nop;
+    nop.ve.resize(1);
+    u.code.push_back(nop);
+    Interpreter interp;
+    EXPECT_THROW(interp.runUTop(u, 0, 0), PanicError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Interpreter, RunawayLoopGuard)
+{
+    setLogLevel(LogLevel::Silent);
+    UTop u;
+    u.kind = UTopKind::Ve;
+    VliwInstruction spin;
+    spin.ve.resize(1);
+    spin.misc = {MiscOpcode::BranchGe, 0, 0, 0, 0}; // 0 >= 0: loop to 0
+    u.code.push_back(spin);
+    VliwInstruction fin;
+    fin.ve.resize(1);
+    fin.misc.op = MiscOpcode::UTopFinish;
+    u.code.push_back(fin);
+    Interpreter interp;
+    interp.setInstLimit(100);
+    EXPECT_THROW(interp.runUTop(u, 0, 0), PanicError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Interpreter, TraceModeUTopFinishesImmediately)
+{
+    UTop u;
+    u.kind = UTopKind::Me;
+    u.cost.meCycles = 100.0; // no code: trace mode
+    Interpreter interp;
+    const auto res = interp.runUTop(u, 0, 0);
+    EXPECT_TRUE(res.finished);
+    EXPECT_EQ(res.instsExecuted, 0u);
+}
+
+// ------------------------------------------------------------ codec
+
+TEST(Encoding, RoundTripMatmulRelu)
+{
+    NeuIsaProgram prog = makeNeuIsaMatmulRelu(4, 4, 8);
+    const auto image = encode(prog);
+    const NeuIsaProgram back = decode(image);
+    EXPECT_EQ(back.maxMeUTopsPerGroup, prog.maxMeUTopsPerGroup);
+    EXPECT_EQ(back.numVeSlots, prog.numVeSlots);
+    EXPECT_EQ(back.snippets, prog.snippets);
+    EXPECT_EQ(back.table, prog.table);
+}
+
+TEST(Encoding, RoundTripLoopProgram)
+{
+    NeuIsaProgram prog = makeNeuIsaLoop(5, 2, 3);
+    const NeuIsaProgram back = decode(encode(prog));
+    EXPECT_EQ(back.snippets, prog.snippets);
+    EXPECT_EQ(back.table, prog.table);
+    // Behavioural equivalence, not just structural.
+    Interpreter a, b;
+    const auto ra = a.runProgram(prog);
+    const auto rb = b.runProgram(back);
+    EXPECT_EQ(ra.groupTrace, rb.groupTrace);
+    EXPECT_EQ(a.scratch(3), b.scratch(3));
+}
+
+TEST(Encoding, BadMagicRejected)
+{
+    setLogLevel(LogLevel::Silent);
+    auto image = encode(makeNeuIsaMatmulRelu(1, 1, 1));
+    image[0] ^= 0xff;
+    EXPECT_THROW(decode(image), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Encoding, TruncationRejected)
+{
+    setLogLevel(LogLevel::Silent);
+    auto image = encode(makeNeuIsaMatmulRelu(2, 2, 4));
+    image.resize(image.size() / 2);
+    EXPECT_THROW(decode(image), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Encoding, TrailingBytesRejected)
+{
+    setLogLevel(LogLevel::Silent);
+    auto image = encode(makeNeuIsaMatmulRelu(2, 2, 4));
+    image.push_back(0);
+    EXPECT_THROW(decode(image), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+// Property sweep: round-trip across program shapes.
+class EncodingSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{};
+
+TEST_P(EncodingSweep, RoundTripIsIdentity)
+{
+    const auto [tiles, ves, pops] = GetParam();
+    NeuIsaProgram prog = makeNeuIsaMatmulRelu(tiles, ves, pops);
+    const NeuIsaProgram back = decode(encode(prog));
+    EXPECT_EQ(back.snippets, prog.snippets);
+    EXPECT_EQ(back.table, prog.table);
+    EXPECT_EQ(encode(back), encode(prog)); // stable bytes
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EncodingSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values(1, 8, 32)));
+
+} // anonymous namespace
+} // namespace neu10

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Virtualization-layer tests: segment pools and address translation
+ * (page faults), IOMMU DMA/interrupt remapping (DMA faults), vNPU
+ * manager placement policies (HW/SW isolation, EU/memory balancing,
+ * oversubscription caps), hypervisor ownership enforcement, and the
+ * guest driver command path end-to-end on a simulated core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "models/zoo.hh"
+#include "npu/core_sim.hh"
+#include "runtime/executor.hh"
+#include "runtime/serving.hh"
+#include "sched/policy.hh"
+#include "virt/driver.hh"
+#include "virt/hypervisor.hh"
+#include "virt/iommu.hh"
+#include "virt/manager.hh"
+#include "virt/memory.hh"
+
+namespace neu10
+{
+namespace
+{
+
+// --------------------------------------------------------- memory
+
+TEST(Segments, PoolAllocatesAndReleases)
+{
+    SegmentPool pool(10_MiB, 1_MiB);
+    EXPECT_EQ(pool.totalSegments(), 10u);
+    auto a = pool.allocate(3_MiB);
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_EQ(pool.freeSegments(), 7u);
+    pool.release(a);
+    EXPECT_EQ(pool.freeSegments(), 10u);
+}
+
+TEST(Segments, PartialSegmentRoundsUp)
+{
+    SegmentPool pool(10_MiB, 1_MiB);
+    EXPECT_EQ(pool.segmentsFor(1), 1u);
+    EXPECT_EQ(pool.segmentsFor(1_MiB), 1u);
+    EXPECT_EQ(pool.segmentsFor(1_MiB + 1), 2u);
+    EXPECT_EQ(pool.segmentsFor(0), 0u);
+}
+
+TEST(Segments, ExhaustionFails)
+{
+    setLogLevel(LogLevel::Silent);
+    SegmentPool pool(4_MiB, 1_MiB);
+    pool.allocate(3_MiB);
+    EXPECT_THROW(pool.allocate(2_MiB), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Segments, DoubleFreePanics)
+{
+    setLogLevel(LogLevel::Silent);
+    SegmentPool pool(4_MiB, 1_MiB);
+    auto a = pool.allocate(1_MiB);
+    pool.release(a);
+    EXPECT_THROW(pool.release(a), PanicError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(AddressSpace, TranslationIsBasePlusOffset)
+{
+    // Segments 5 and 2 of 1 MiB: vaddr 0 -> seg5 base, vaddr 1MiB+10
+    // -> seg2 base + 10.
+    AddressSpace as(1_MiB, {5, 2});
+    EXPECT_EQ(as.size(), 2_MiB);
+    EXPECT_EQ(as.translate(0), 5 * 1_MiB);
+    EXPECT_EQ(as.translate(1_MiB + 10), 2 * 1_MiB + 10);
+}
+
+TEST(AddressSpace, OutOfRangeFaults)
+{
+    AddressSpace as(1_MiB, {0});
+    EXPECT_THROW(as.translate(1_MiB), PageFaultError);
+    EXPECT_THROW(as.translateRange(1_MiB - 10, 20), PageFaultError);
+    EXPECT_NO_THROW(as.translateRange(1_MiB - 10, 10));
+}
+
+TEST(AddressSpace, EmptySpaceAlwaysFaults)
+{
+    AddressSpace as;
+    EXPECT_THROW(as.translate(0), PageFaultError);
+}
+
+// ---------------------------------------------------------- iommu
+
+TEST(IommuTest, MapTranslateUnmap)
+{
+    Iommu iommu;
+    iommu.attach(1);
+    iommu.map(1, 0x1000, 0x9000, 0x100);
+    EXPECT_EQ(iommu.translate(1, 0x1000), 0x9000u);
+    EXPECT_EQ(iommu.translate(1, 0x10ff), 0x90ffu);
+    iommu.unmap(1, 0x1000);
+    EXPECT_THROW(iommu.translate(1, 0x1000), DmaFaultError);
+}
+
+TEST(IommuTest, UnattachedDeviceFaults)
+{
+    Iommu iommu;
+    EXPECT_THROW(iommu.translate(7, 0x0), DmaFaultError);
+}
+
+TEST(IommuTest, CrossWindowAccessFaults)
+{
+    Iommu iommu;
+    iommu.attach(1);
+    iommu.map(1, 0x1000, 0x9000, 0x100);
+    EXPECT_THROW(iommu.translate(1, 0x10f0, 0x20), DmaFaultError);
+}
+
+TEST(IommuTest, OverlappingWindowsRejected)
+{
+    setLogLevel(LogLevel::Silent);
+    Iommu iommu;
+    iommu.attach(1);
+    iommu.map(1, 0x1000, 0x9000, 0x100);
+    EXPECT_THROW(iommu.map(1, 0x1080, 0xa000, 0x100), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(IommuTest, IsolationBetweenDevices)
+{
+    Iommu iommu;
+    iommu.attach(1);
+    iommu.attach(2);
+    iommu.map(1, 0x1000, 0x9000, 0x100);
+    // Device 2 cannot reach device 1's window.
+    EXPECT_THROW(iommu.translate(2, 0x1000), DmaFaultError);
+}
+
+TEST(IommuTest, InterruptRemapping)
+{
+    Iommu iommu;
+    iommu.attach(1);
+    int fired = 0;
+    iommu.bindInterrupt(1, 3, [&](std::uint32_t v) {
+        EXPECT_EQ(v, 3u);
+        ++fired;
+    });
+    iommu.raiseInterrupt(1, 3);
+    iommu.raiseInterrupt(1, 4); // unbound vector drops
+    iommu.raiseInterrupt(9, 3); // unknown device drops
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(IommuTest, DetachClearsState)
+{
+    Iommu iommu;
+    iommu.attach(1);
+    iommu.map(1, 0, 0, 0x100);
+    iommu.detach(1);
+    EXPECT_FALSE(iommu.attached(1));
+    EXPECT_THROW(iommu.translate(1, 0), DmaFaultError);
+}
+
+// -------------------------------------------------------- manager
+
+VnpuConfig
+smallVnpu(unsigned mes = 2, unsigned ves = 2, Bytes hbm = 8_GiB)
+{
+    VnpuConfig cfg;
+    cfg.numMesPerCore = mes;
+    cfg.numVesPerCore = ves;
+    cfg.sramSizePerCore = 32_MiB;
+    cfg.memSizePerCore = hbm;
+    return cfg;
+}
+
+TEST(Manager, HardwareIsolatedPlacementRespectsEngines)
+{
+    NpuBoardConfig board; // 2 chips x 2 cores, 4ME/4VE each
+    VnpuManager mgr(board);
+    // Two 2ME+2VE vNPUs fit one core; a fifth 4ME one must go
+    // elsewhere until engines run out.
+    std::vector<VnpuId> ids;
+    for (int i = 0; i < 8; ++i)
+        ids.push_back(mgr.create(1, smallVnpu()));
+    EXPECT_EQ(mgr.liveCount(), 8u);
+    setLogLevel(LogLevel::Silent);
+    EXPECT_THROW(mgr.create(1, smallVnpu()), FatalError);
+    setLogLevel(LogLevel::Warn);
+    for (auto id : ids)
+        mgr.destroy(id);
+    EXPECT_EQ(mgr.liveCount(), 0u);
+}
+
+TEST(Manager, DestroyFreesResourcesForReuse)
+{
+    NpuBoardConfig board;
+    board.numChips = 1;
+    board.coresPerChip = 1;
+    VnpuManager mgr(board);
+    const VnpuId a = mgr.create(1, smallVnpu(4, 4, 32_GiB));
+    setLogLevel(LogLevel::Silent);
+    EXPECT_THROW(mgr.create(1, smallVnpu(1, 1)), FatalError);
+    setLogLevel(LogLevel::Warn);
+    mgr.destroy(a);
+    EXPECT_NO_THROW(mgr.create(1, smallVnpu(4, 4, 32_GiB)));
+}
+
+TEST(Manager, MemoryBoundPlacement)
+{
+    NpuBoardConfig board;
+    board.numChips = 1;
+    board.coresPerChip = 2;
+    VnpuManager mgr(board);
+    // 48 GiB on a 64 GiB core: two such vNPUs cannot share a core
+    // even though engines would fit.
+    const VnpuId a = mgr.create(1, smallVnpu(1, 1, 48_GiB));
+    const VnpuId b = mgr.create(2, smallVnpu(1, 1, 48_GiB));
+    EXPECT_NE(mgr.get(a).core, mgr.get(b).core);
+}
+
+TEST(Manager, EuMemoryBalancePairsOppositeProfiles)
+{
+    // §III-C: an EU-hungry/memory-light vNPU prefers the core already
+    // loaded with a memory-hungry/EU-light one.
+    NpuBoardConfig board;
+    board.numChips = 1;
+    board.coresPerChip = 2;
+    VnpuManager mgr(board);
+    const VnpuId mem_hog = mgr.create(1, smallVnpu(1, 1, 56_GiB));
+    const VnpuId eu_hog = mgr.create(2, smallVnpu(3, 3, 2_GiB));
+    EXPECT_EQ(mgr.get(mem_hog).core, mgr.get(eu_hog).core);
+}
+
+TEST(Manager, SoftwareIsolationAllowsOversubscription)
+{
+    NpuBoardConfig board;
+    board.numChips = 1;
+    board.coresPerChip = 1;
+    VnpuManager mgr(board);
+    // 3 x (4ME+4VE) on a 4ME/4VE core: legal software-isolated.
+    for (int i = 0; i < 3; ++i)
+        EXPECT_NO_THROW(mgr.create(1, smallVnpu(4, 4, 4_GiB),
+                                   IsolationMode::Software));
+    // The oversubscription cap (4x) still binds.
+    mgr.create(1, smallVnpu(4, 4, 4_GiB), IsolationMode::Software);
+    setLogLevel(LogLevel::Silent);
+    EXPECT_THROW(mgr.create(1, smallVnpu(4, 4, 4_GiB),
+                            IsolationMode::Software),
+                 FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Manager, ReconfigureGrowsAndShrinks)
+{
+    NpuBoardConfig board;
+    board.numChips = 1;
+    board.coresPerChip = 1;
+    VnpuManager mgr(board);
+    const VnpuId id = mgr.create(1, smallVnpu(2, 2, 8_GiB));
+    mgr.reconfigure(id, smallVnpu(4, 4, 16_GiB));
+    EXPECT_EQ(mgr.get(id).config.numMesPerCore, 4u);
+    mgr.reconfigure(id, smallVnpu(1, 1, 2_GiB));
+    EXPECT_EQ(mgr.get(id).config.memSizePerCore, 2_GiB);
+    // Freed engines are available again.
+    EXPECT_NO_THROW(mgr.create(2, smallVnpu(3, 3, 8_GiB)));
+}
+
+TEST(Manager, SegmentsAssignedOnMapping)
+{
+    NpuBoardConfig board;
+    VnpuManager mgr(board);
+    const VnpuId id = mgr.create(1, smallVnpu(2, 2, 3_GiB));
+    const Vnpu &v = mgr.get(id);
+    EXPECT_EQ(v.state, VnpuState::Mapped);
+    EXPECT_EQ(v.hbmSegments.size(), 3u);  // 3 x 1 GiB
+    EXPECT_EQ(v.sramSegments.size(), 16u); // 32 MiB / 2 MiB
+}
+
+// ----------------------------------------------------- hypervisor
+
+TEST(HypervisorTest, OwnershipEnforced)
+{
+    setLogLevel(LogLevel::Silent);
+    Hypervisor hv(NpuBoardConfig{});
+    const VnpuId id = hv.hcCreateVnpu(1, smallVnpu());
+    EXPECT_THROW(hv.hcDestroyVnpu(2, id), FatalError);
+    EXPECT_THROW(hv.hcConfigureVnpu(2, id, smallVnpu(1, 1)),
+                 FatalError);
+    EXPECT_NO_THROW(hv.hcDestroyVnpu(1, id));
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(HypervisorTest, MmioWindowsAreDisjoint)
+{
+    Hypervisor hv(NpuBoardConfig{});
+    const VnpuId a = hv.hcCreateVnpu(1, smallVnpu());
+    const VnpuId b = hv.hcCreateVnpu(2, smallVnpu());
+    const MmioRegion ra = hv.mmioRegion(a);
+    const MmioRegion rb = hv.mmioRegion(b);
+    EXPECT_TRUE(ra.base + ra.size <= rb.base ||
+                rb.base + rb.size <= ra.base);
+}
+
+TEST(HypervisorTest, CreateAttachesIommu)
+{
+    Hypervisor hv(NpuBoardConfig{});
+    const VnpuId id = hv.hcCreateVnpu(1, smallVnpu());
+    EXPECT_TRUE(hv.iommu().attached(id));
+    hv.hcDestroyVnpu(1, id);
+    EXPECT_FALSE(hv.iommu().attached(id));
+}
+
+// ----------------------------------------------- driver end-to-end
+
+TEST(Driver, Fig11FlowRunsInference)
+{
+    Hypervisor hv(NpuBoardConfig{});
+    EventQueue queue;
+
+    // Physical core hosting two slots; the driver's vNPU is slot 0.
+    std::vector<VnpuSlot> slots(2);
+    slots[0].nMes = 2;
+    slots[0].nVes = 2;
+    slots[1].nMes = 2;
+    slots[1].nVes = 2;
+    NpuCoreSim core(queue, NpuCoreConfig{},
+                    makePolicy(PolicyKind::Neu10), slots);
+    SimCommandExecutor executor(queue, core);
+
+    VnpuDriver driver(hv, /*tenant=*/1, smallVnpu());
+    driver.bindExecutor(&executor);
+    executor.bindSlot(driver.id(), 0);
+    driver.registerDmaBuffer(0x1000, 4_MiB);
+
+    const NpuCoreConfig cc;
+    const CompiledModel prog = lowerToNeuIsa(
+        buildModel(ModelId::Mnist, 8), cc.numMes, cc.numVes,
+        cc.machine());
+
+    // Fig. 11: copy input, launch, copy result; poll for completion.
+    const auto h2d = driver.memcpyToDevice(0x1000, 1_MiB);
+    const auto launch = driver.launch(&prog);
+    queue.runUntil();
+    EXPECT_TRUE(driver.poll(h2d));
+    EXPECT_TRUE(driver.poll(launch));
+    const auto d2h = driver.memcpyToHost(0x1000, 1_MiB);
+    queue.runUntil();
+    EXPECT_TRUE(driver.poll(d2h));
+    EXPECT_EQ(driver.inFlight(), 0u);
+}
+
+TEST(Driver, CompletionInterruptDelivered)
+{
+    Hypervisor hv(NpuBoardConfig{});
+    EventQueue queue;
+    std::vector<VnpuSlot> slots(1);
+    slots[0].nMes = 2;
+    slots[0].nVes = 2;
+    NpuCoreSim core(queue, NpuCoreConfig{},
+                    makePolicy(PolicyKind::Neu10), slots);
+    SimCommandExecutor executor(queue, core);
+
+    VnpuDriver driver(hv, 1, smallVnpu());
+    driver.bindExecutor(&executor);
+    executor.bindSlot(driver.id(), 0);
+    driver.registerDmaBuffer(0, 1_MiB);
+
+    std::vector<std::uint64_t> interrupts;
+    driver.setInterruptHandler([&](std::uint64_t cid) {
+        interrupts.push_back(cid);
+    });
+    const auto cmd = driver.memcpyToDevice(0, 64_KiB);
+    queue.runUntil();
+    ASSERT_EQ(interrupts.size(), 1u);
+    EXPECT_EQ(interrupts[0], cmd);
+}
+
+TEST(Driver, UnregisteredDmaFaults)
+{
+    Hypervisor hv(NpuBoardConfig{});
+    EventQueue queue;
+    std::vector<VnpuSlot> slots(1);
+    slots[0].nMes = 1;
+    slots[0].nVes = 1;
+    NpuCoreSim core(queue, NpuCoreConfig{},
+                    makePolicy(PolicyKind::Neu10), slots);
+    SimCommandExecutor executor(queue, core);
+    VnpuDriver driver(hv, 1, smallVnpu());
+    driver.bindExecutor(&executor);
+    executor.bindSlot(driver.id(), 0);
+    // No registerDmaBuffer: the device-side fetch faults.
+    EXPECT_THROW(driver.memcpyToDevice(0x5000, 1_KiB), DmaFaultError);
+}
+
+TEST(Driver, QueryConfigReflectsHierarchy)
+{
+    Hypervisor hv(NpuBoardConfig{});
+    VnpuDriver driver(hv, 1, smallVnpu(2, 2, 8_GiB));
+    const VnpuConfig &cfg = driver.queryConfig();
+    EXPECT_EQ(cfg.numMesPerCore, 2u);
+    EXPECT_EQ(cfg.memSizePerCore, 8_GiB);
+}
+
+} // anonymous namespace
+} // namespace neu10

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * vNPU abstraction and allocator tests: Eq. (1)-(4) properties, the
+ * EU-sweep selection (Fig. 12), memory sizing, presets, lifecycle
+ * types.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "compiler/profile.hh"
+#include "models/zoo.hh"
+#include "vnpu/allocator.hh"
+#include "vnpu/config.hh"
+#include "vnpu/instance.hh"
+
+namespace neu10
+{
+namespace
+{
+
+constexpr double kHbmBpc = 1.2e12 / 1.05e9;
+
+// ---------------------------------------------------------- config
+
+TEST(VnpuConfig, ValidationRequiresEngines)
+{
+    setLogLevel(LogLevel::Silent);
+    VnpuConfig cfg;
+    cfg.numMesPerCore = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.numMesPerCore = 1;
+    cfg.numVesPerCore = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.numChips = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(VnpuConfig, PresetsAreOrdered)
+{
+    const auto s = presetConfig(VnpuPreset::Small);
+    const auto m = presetConfig(VnpuPreset::Medium);
+    const auto l = presetConfig(VnpuPreset::Large);
+    EXPECT_LT(s.eusPerCore(), m.eusPerCore());
+    EXPECT_LT(m.eusPerCore(), l.eusPerCore());
+    EXPECT_LT(s.memSizePerCore, l.memSizePerCore);
+    EXPECT_NO_THROW(s.validate());
+    EXPECT_NO_THROW(l.validate());
+}
+
+TEST(VnpuConfig, ToStringMentionsShape)
+{
+    const auto cfg = presetConfig(VnpuPreset::Medium);
+    const std::string s = cfg.toString();
+    EXPECT_NE(s.find("2ME+2VE"), std::string::npos);
+}
+
+TEST(VnpuInstance, StateNames)
+{
+    EXPECT_EQ(toString(VnpuState::Created), "created");
+    EXPECT_EQ(toString(VnpuState::Mapped), "mapped");
+    EXPECT_EQ(toString(VnpuState::Active), "active");
+    EXPECT_EQ(toString(VnpuState::Destroyed), "destroyed");
+}
+
+// ------------------------------------------------- Eq. (1)-(4) math
+
+TEST(AllocMath, NormalizedTimeMatchesHandComputation)
+{
+    // m = 0.8, v = 0.4: T = (1-0.4)/nm + (1-0.8)/nv + 0.2/min.
+    const double t = allocNormalizedTime(0.8, 0.4, 2, 1);
+    EXPECT_NEAR(t, 0.6 / 2 + 0.2 / 1 + 0.2 / 1, 1e-12);
+}
+
+TEST(AllocMath, SingleEnginePairIsBaseline)
+{
+    // On (1,1) the normalized time is exactly 1 when m + v = 1... and
+    // in general (1-v) + (1-m) + (m+v-1) = 1.
+    for (double m : {0.5, 0.7, 0.9})
+        for (double v : {0.3, 0.5}) {
+            if (m + v < 1.0)
+                continue;
+            EXPECT_NEAR(allocNormalizedTime(m, v, 1, 1), 1.0, 1e-12);
+        }
+}
+
+TEST(AllocMath, UtilizationBoundedByOne)
+{
+    for (double m : {0.2, 0.5, 0.8, 0.95})
+        for (double v : {0.1, 0.5, 0.9})
+            for (unsigned nm : {1u, 2u, 4u})
+                for (unsigned nv : {1u, 2u, 4u}) {
+                    const double u = allocUtilization(m, v, nm, nv);
+                    EXPECT_GT(u, 0.0);
+                    EXPECT_LE(u, 1.0 + 1e-9);
+                }
+}
+
+TEST(AllocMath, OptimalRatioMatchesEquationFour)
+{
+    // m < 0.5: k = sqrt(m / (1-m)).
+    EXPECT_NEAR(allocOptimalRatio(0.2, 0.9), std::sqrt(0.2 / 0.8),
+                1e-12);
+    // v < 0.5: k = sqrt((1-v) / v).
+    EXPECT_NEAR(allocOptimalRatio(0.9, 0.2), std::sqrt(0.8 / 0.2),
+                1e-12);
+    // Both >= 0.5: k = 1.
+    EXPECT_DOUBLE_EQ(allocOptimalRatio(0.6, 0.7), 1.0);
+}
+
+TEST(AllocMath, RatioDirectionFollowsWorkloadLeaning)
+{
+    // ME-heavy (v small) => more MEs than VEs; VE-heavy the reverse.
+    EXPECT_GT(allocOptimalRatio(0.95, 0.1), 1.0);
+    EXPECT_LT(allocOptimalRatio(0.1, 0.95), 1.0);
+}
+
+TEST(AllocMath, KStarMaximizesUtilizationNumerically)
+{
+    // Eq. (4) is the analytic argmax of Eq. (3); check numerically on
+    // a fine grid of real-valued splits for several workloads.
+    for (double m : {0.15, 0.3, 0.45})
+        for (double v_base : {0.9, 0.95}) {
+            const double v = v_base;
+            const double k_star = allocOptimalRatio(m, v);
+            auto u_of = [&](double k) {
+                // Eq. (3) form with nv = 1, nm = k (k <= 1 branch).
+                return (m + v) * k /
+                       ((1.0 - m) * k * k + k + m);
+            };
+            const double u_star = u_of(k_star);
+            for (double k = 0.05; k <= 1.0; k += 0.01)
+                EXPECT_LE(u_of(k), u_star + 1e-9)
+                    << "m=" << m << " k=" << k;
+        }
+}
+
+// --------------------------------------------------- integer split
+
+TEST(AllocSplit, AlwaysAtLeastOneOfEach)
+{
+    for (unsigned total : {2u, 3u, 5u, 8u, 16u}) {
+        const auto [nm, nv] = allocSplitEus(0.99, 0.01, total);
+        EXPECT_GE(nm, 1u);
+        EXPECT_GE(nv, 1u);
+        EXPECT_EQ(nm + nv, total);
+    }
+}
+
+TEST(AllocSplit, BalancedWorkloadGetsDiagonal)
+{
+    // Fig. 12c: EfficientNet-like m ~ v picks near-equal splits.
+    const auto [nm, nv] = allocSplitEus(0.6, 0.55, 8);
+    EXPECT_NEAR(static_cast<double>(nm) / nv, 1.0, 0.5);
+}
+
+TEST(AllocSplit, MeHeavyWorkloadGetsMoreMes)
+{
+    // Fig. 12a: BERT-like picks ~3:1.
+    const auto [nm, nv] = allocSplitEus(0.95, 0.09, 12);
+    EXPECT_GT(nm, nv);
+    EXPECT_GE(nm, 8u);
+}
+
+TEST(AllocSplit, SelectionBeatsOrTiesEveryAlternative)
+{
+    // The allocator's pick maximizes modeled utilization per EU count.
+    for (double m : {0.2, 0.6, 0.95})
+        for (double v : {0.1, 0.5, 0.9})
+            for (unsigned total : {4u, 8u, 12u}) {
+                const auto [nm, nv] = allocSplitEus(m, v, total);
+                const double picked = allocUtilization(m, v, nm, nv);
+                for (unsigned a = 1; a < total; ++a) {
+                    EXPECT_GE(picked + 1e-9,
+                              allocUtilization(m, v, a, total - a))
+                        << m << " " << v << " " << total << " " << a;
+                }
+            }
+}
+
+TEST(AllocSweep, MarksExactlyOneSelectionPerEuCount)
+{
+    const auto points = allocSweep(0.9, 0.3, 10);
+    std::map<unsigned, unsigned> selected;
+    for (const auto &p : points)
+        if (p.selected)
+            ++selected[p.nm + p.nv];
+    for (unsigned total = 2; total <= 10; ++total)
+        EXPECT_EQ(selected[total], 1u) << total;
+}
+
+TEST(AllocSweep, SpeedupMonotoneForSelectedConfigs)
+{
+    // Fig. 12: the selected-config curve rises with the EU budget.
+    const auto points = allocSweep(0.93, 0.2, 16);
+    double prev = 0.0;
+    for (const auto &p : points) {
+        if (!p.selected)
+            continue;
+        EXPECT_GE(p.speedup + 1e-9, prev);
+        prev = p.speedup;
+    }
+}
+
+// ---------------------------------------------- end-to-end sizing
+
+TEST(Allocate, MemoryRoundedToSegments)
+{
+    const auto prof =
+        profileWorkload(buildModel(ModelId::ResNet, 8), 4, 4, kHbmBpc);
+    const NpuCoreConfig core;
+    const VnpuConfig cfg = allocateVnpu(prof, 4, 216020000, core);
+    EXPECT_EQ(cfg.memSizePerCore % core.hbmSegment, 0u);
+    EXPECT_GE(cfg.memSizePerCore, 216020000u);
+    EXPECT_EQ(cfg.sramSizePerCore % core.sramSegment, 0u);
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Allocate, SramProportionalToMes)
+{
+    const auto prof_me =
+        profileWorkload(buildModel(ModelId::RetinaNet, 8), 4, 4,
+                        kHbmBpc);
+    const auto prof_ve =
+        profileWorkload(buildModel(ModelId::Ncf, 8), 4, 4, kHbmBpc);
+    const NpuCoreConfig core;
+    const VnpuConfig me_cfg = allocateVnpu(prof_me, 4, 1_GiB, core);
+    const VnpuConfig ve_cfg = allocateVnpu(prof_ve, 4, 1_GiB, core);
+    EXPECT_GT(me_cfg.numMesPerCore, ve_cfg.numMesPerCore);
+    EXPECT_GE(me_cfg.sramSizePerCore, ve_cfg.sramSizePerCore);
+}
+
+TEST(Allocate, RealModelDirections)
+{
+    // DLRM leans VE, RetinaNet leans ME, per §II-B.
+    const NpuCoreConfig core;
+    const auto dlrm =
+        profileWorkload(buildModel(ModelId::Dlrm, 32), 4, 4, kHbmBpc);
+    const auto rtnt =
+        profileWorkload(buildModel(ModelId::RetinaNet, 32), 4, 4,
+                        kHbmBpc);
+    const auto d = allocateVnpu(dlrm, 8, 23_GiB, core);
+    const auto r = allocateVnpu(rtnt, 8, 1_GiB, core);
+    EXPECT_GE(d.numVesPerCore, d.numMesPerCore);
+    EXPECT_GT(r.numMesPerCore, r.numVesPerCore);
+}
+
+} // anonymous namespace
+} // namespace neu10
