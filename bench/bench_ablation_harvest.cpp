@@ -90,7 +90,7 @@ main()
     std::printf("%-12s %10s %10s %10s\n", "Pair", "ME-only",
                 "VE-only", "full");
     bench::rule();
-    for (const auto &pair : evaluationPairs()) {
+    for (const auto &pair : bench::smokeTrim(evaluationPairs())) {
         const double none =
             runWith(pair, false, false, 256.0).totalThroughput();
         const double me =
@@ -110,9 +110,10 @@ main()
     std::printf("%-12s %10s %10s %10s %10s\n", "Pair", "0cy",
                 "256cy", "1024cy", "4096cy");
     bench::rule();
-    for (const auto &pair : {evaluationPairs()[0],
-                             evaluationPairs()[4],
-                             evaluationPairs()[8]}) {
+    const std::vector<WorkloadPair> sweep_pairs = {
+        evaluationPairs()[0], evaluationPairs()[4],
+        evaluationPairs()[8]};
+    for (const auto &pair : bench::smokeTrim(sweep_pairs, 1)) {
         const double base =
             runWith(pair, true, true, 256.0).totalThroughput();
         std::printf("%-12s", pair.label);

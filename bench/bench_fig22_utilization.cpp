@@ -18,8 +18,9 @@ main()
                                     PolicyKind::Neu10NH,
                                     PolicyKind::Neu10};
 
+    const auto pairs = bench::smokeTrim(evaluationPairs());
     std::vector<std::array<ServingResult, 4>> rows;
-    for (const auto &pair : evaluationPairs()) {
+    for (const auto &pair : pairs) {
         std::array<ServingResult, 4> row;
         for (int p = 0; p < 4; ++p) {
             ServingConfig cfg;
@@ -42,7 +43,7 @@ main()
     double pmt_sum = 0.0, neu_sum = 0.0;
     for (size_t i = 0; i < rows.size(); ++i) {
         std::printf("%-12s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
-                    evaluationPairs()[i].label,
+                    pairs[i].label,
                     100.0 * rows[i][0].meUsefulUtil,
                     100.0 * rows[i][1].meUsefulUtil,
                     100.0 * rows[i][2].meUsefulUtil,
@@ -60,7 +61,7 @@ main()
     pmt_sum = neu_sum = 0.0;
     for (size_t i = 0; i < rows.size(); ++i) {
         std::printf("%-12s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
-                    evaluationPairs()[i].label,
+                    pairs[i].label,
                     100.0 * rows[i][0].veUtil,
                     100.0 * rows[i][1].veUtil,
                     100.0 * rows[i][2].veUtil,

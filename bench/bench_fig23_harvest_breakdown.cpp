@@ -48,7 +48,7 @@ main()
                 "p10", "median", "p90", ">=1.5x", "blocked");
     bench::rule();
 
-    for (const auto &pair : evaluationPairs()) {
+    for (const auto &pair : bench::smokeTrim(evaluationPairs())) {
         ServingResult res[2];
         for (int p = 0; p < 2; ++p) {
             ServingConfig cfg;

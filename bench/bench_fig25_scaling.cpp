@@ -60,7 +60,7 @@ main()
     std::printf(" %9s\n", "V10@2-2");
     bench::rule();
 
-    for (const auto &pair : evaluationPairs()) {
+    for (const auto &pair : bench::smokeTrim(evaluationPairs())) {
         const double base =
             pairThroughput(pair, PolicyKind::V10, 2, 2);
         std::printf("%-12s", pair.label);

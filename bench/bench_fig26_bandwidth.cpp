@@ -47,7 +47,7 @@ int
 main()
 {
     const double bws[] = {0.9e12, 1.2e12, 2e12, 3e12};
-    const SweepPair pairs[] = {
+    const std::vector<SweepPair> all_pairs = {
         {"DLRM+NCF", ModelId::Dlrm, ModelId::Ncf, 32, 32, 10},
         {"NCF+TFMR", ModelId::Ncf, ModelId::Transformer, 32, 32, 8},
         {"DLRM+SMask", ModelId::Dlrm, ModelId::ShapeMask, 32, 8, 6},
@@ -67,6 +67,7 @@ main()
         {"LLaMA+RsNt", ModelId::Llama, ModelId::ResNet, 8, 32, 1},
         {"LLaMA+RtNt", ModelId::Llama, ModelId::RetinaNet, 8, 32, 1},
     };
+    const auto pairs = bench::smokeTrim(all_pairs);
 
     bench::header("Figure 26", "Neu10 total throughput normalized to "
                                "V10, across HBM bandwidths");

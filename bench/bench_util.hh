@@ -11,6 +11,7 @@
 #define NEU10_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,30 @@ namespace neu10
 {
 namespace bench
 {
+
+/**
+ * True when NEU10_SMOKE is set to anything but "0": CI smoke runs
+ * (the `smoke` CTest label) shrink the sweeps so every bench binary
+ * finishes in a couple of seconds while still exercising the full
+ * code path at least once.
+ */
+inline bool
+smokeMode()
+{
+    const char *v = std::getenv("NEU10_SMOKE");
+    return v != nullptr && v[0] != '\0' &&
+           !(v[0] == '0' && v[1] == '\0');
+}
+
+/** In smoke mode keep only the first @p keep entries of a sweep. */
+template <typename T>
+inline std::vector<T>
+smokeTrim(std::vector<T> v, std::size_t keep = 2)
+{
+    if (smokeMode() && v.size() > keep)
+        v.resize(keep);
+    return v;
+}
 
 /** Print the bench banner. */
 inline void

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "common/logging.hh"
 #include "compiler/lower.hh"
 #include "compiler/profile.hh"
@@ -77,6 +79,48 @@ TEST(Zoo, UnknownAbbrevRejected)
     setLogLevel(LogLevel::Silent);
     EXPECT_THROW(modelFromAbbrev("nope"), FatalError);
     setLogLevel(LogLevel::Warn);
+}
+
+TEST(Zoo, BatchCapConsistentWithBuilders)
+{
+    // The cap is the single source of truth for what builds: every
+    // batch at or below maxBatch() builds, validates, and lowers;
+    // every batch above it is rejected up front with FatalError —
+    // never a mid-build failure. (AllModelsBuild's skips rely on
+    // this: a skipped parameterization means "capped", not "broken".)
+    setLogLevel(LogLevel::Silent);
+    for (auto id : allModels()) {
+        const unsigned cap = maxBatch(id);
+        for (unsigned b : {1u, 8u, 32u, 256u}) {
+            if (b <= cap) {
+                DnnGraph g = buildModel(id, b);
+                EXPECT_NO_THROW(g.validate())
+                    << modelAbbrev(id) << " b" << b;
+                EXPECT_NO_THROW(lowerToNeuIsa(g, 4, 4).validate())
+                    << modelAbbrev(id) << " b" << b;
+            } else {
+                EXPECT_THROW(buildModel(id, b), FatalError)
+                    << modelAbbrev(id) << " b" << b;
+            }
+        }
+        EXPECT_NO_THROW(buildModel(id, cap)) << modelAbbrev(id);
+        EXPECT_THROW(buildModel(id, cap + 1), FatalError)
+            << modelAbbrev(id);
+    }
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Zoo, OnlyDocumentedModelsCappedBelow256)
+{
+    // Exactly the three parameterizations AllModelsBuild skips at
+    // b256 — LLaMA, Mask-RCNN, ShapeMask — sit below batch 256.
+    std::set<ModelId> capped;
+    for (auto id : allModels())
+        if (maxBatch(id) < 256)
+            capped.insert(id);
+    const std::set<ModelId> documented = {
+        ModelId::MaskRcnn, ModelId::ShapeMask, ModelId::Llama};
+    EXPECT_EQ(capped, documented);
 }
 
 TEST(Zoo, OverLargeBatchRejected)
