@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Cluster-scale open-loop serving: a multi-board fleet under Poisson
+ * and bursty (MMPP-2) traffic, swept over placement policies.
+ *
+ * This is the capacity-planning view the paper's single-core §V
+ * evaluation feeds into: 16 tenants rent allocator-sized vNPUs on a
+ * 4-board x 4-core fleet; each tenant's request rate is calibrated to
+ * a target utilization of its own vNPU (rho), so the fleet-level
+ * outcome isolates what placement and traffic shape do to tails,
+ * goodput and rejection rate.
+ *
+ * Usage: bench_cluster_serving [placement] [core-policy]
+ *   placement    first-fit | best-fit | load-balanced (default: all)
+ *   core-policy  neu10 | neu10-nh | v10 | pmt   (default: neu10)
+ * NEU10_SEED=<n> reseeds the traffic generators; NEU10_SMOKE=1
+ * shrinks the horizon for CI.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.hh"
+#include "cluster/fleet.hh"
+#include "vnpu/allocator.hh"
+
+using namespace neu10;
+
+namespace
+{
+
+/** Per-tenant vNPU target utilization (offered load / capacity). */
+const double kRhos[4] = {0.35, 0.55, 0.45, 0.6};
+
+/** Tenant model mix: two ME-heavy (MNIST, ResNet) and two VE-heavy
+ * (NCF, DLRM) services with sub-ms requests, so every tenant sees
+ * hundreds of arrivals within the horizon and both engine types
+ * matter; DLRM's 21 GiB embedding tables pressure HBM packing. */
+const ModelId kModels[4] = {ModelId::Mnist, ModelId::Ncf,
+                            ModelId::Dlrm, ModelId::ResNet};
+const unsigned kBatches[4] = {32, 32, 32, 8};
+// Mixed EU budgets (2/4/4/6) fragment the bins, so first-fit and
+// best-fit genuinely diverge.
+const unsigned kEus[4] = {2, 4, 4, 6};
+
+FleetConfig
+makeFleet(PlacementPolicy placement, PolicyKind core_policy,
+          TrafficShape shape, unsigned tenants, Cycles horizon,
+          std::uint64_t seed)
+{
+    FleetConfig cfg;
+    cfg.numBoards = 4;             // x (2 chips x 2 cores) = 16 cores
+    cfg.placement = placement;
+    cfg.corePolicy = core_policy;
+    cfg.horizon = horizon;
+    cfg.maxCycles = 50.0 * horizon;
+
+    // Size the four unique (model, batch, eus) tuples once; the
+    // tenants cycle through them.
+    Cycles service[4];
+    for (unsigned k = 0; k < 4; ++k)
+        service[k] = sizeVnpuForModel(kModels[k], kBatches[k],
+                                      kEus[k], cfg.board.core)
+                         .serviceEstimate();
+
+    for (unsigned i = 0; i < tenants; ++i) {
+        const unsigned k = i % 4;
+        ClusterTenantSpec t;
+        t.model = kModels[k];
+        t.batch = kBatches[k];
+        t.eus = kEus[k];
+
+        // Rate: rho x the allocator's service-time estimate for this
+        // tenant's own vNPU.
+        t.traffic.shape = shape;
+        t.traffic.ratePerSec =
+            kRhos[k] * cfg.board.core.freqHz / service[k];
+        t.traffic.seed = seed + i;
+        t.sloCycles = 5.0 * service[k];
+        t.maxQueueDepth = 32;
+        cfg.tenants.push_back(t);
+    }
+    return cfg;
+}
+
+void
+printFleetRow(const char *shape, const FleetResult &r)
+{
+    std::printf("%-14s %-8s %7llu %7llu %6.1f%% %8.0f %8.3f %8.3f "
+                "%8.3f %6.1f%% %6.3f\n",
+                r.placement.c_str(), shape,
+                static_cast<unsigned long long>(r.submitted),
+                static_cast<unsigned long long>(r.completed),
+                100.0 * r.rejectionRate(), r.goodput,
+                bench::toMs(r.p50()), bench::toMs(r.p95()),
+                bench::toMs(r.p99()),
+                100.0 * r.coreEuUtil.mean(),
+                r.coreEuUtil.stddev());
+}
+
+void
+printCoreMap(const FleetResult &r)
+{
+    std::vector<double> util;
+    for (const auto &c : r.cores)
+        util.push_back(c.euUtil);
+    std::printf("  %-14s cores [%s]  (%u occupied, EU util "
+                "sparkline)\n",
+                r.placement.c_str(),
+                bench::sparkline(util, 1.0).c_str(),
+                [&] {
+                    unsigned n = 0;
+                    for (const auto &c : r.cores)
+                        n += c.tenants > 0;
+                    return n;
+                }());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<PlacementPolicy> placements = {
+        PlacementPolicy::FirstFit, PlacementPolicy::BestFit,
+        PlacementPolicy::LoadBalanced};
+    PolicyKind core_policy = PolicyKind::Neu10;
+    if (argc > 1)
+        placements = {placementFromName(argv[1])};
+    if (argc > 2)
+        core_policy = policyFromName(argv[2]);
+
+    const unsigned tenants = 16;
+    const Cycles horizon = bench::smokeMode() ? 1e7 : 1e8;
+    const std::uint64_t seed = bench::benchSeed(42);
+
+    bench::header(
+        "Cluster serving",
+        csprintf("4 boards x 4 cores, %u tenants, open-loop "
+                 "traffic, %s on-core scheduling (seed %llu)",
+                 tenants, policyName(core_policy).c_str(),
+                 static_cast<unsigned long long>(seed)));
+
+    std::printf("%-14s %-8s %7s %7s %7s %8s %8s %8s %8s %7s %6s\n",
+                "placement", "shape", "arrive", "served", "reject",
+                "goodput", "p50ms", "p95ms", "p99ms", "EU-avg",
+                "EUsd");
+    bench::rule();
+
+    const TrafficShape shapes[] = {TrafficShape::Poisson,
+                                   TrafficShape::Bursty};
+    std::vector<FleetResult> poisson_runs;
+    for (PlacementPolicy placement : placements) {
+        for (TrafficShape shape : shapes) {
+            const FleetResult r = runFleet(
+                makeFleet(placement, core_policy, shape, tenants,
+                          horizon, seed));
+            printFleetRow(trafficShapeName(shape).c_str(), r);
+            if (shape == TrafficShape::Poisson)
+                poisson_runs.push_back(r);
+        }
+    }
+
+    std::printf("\nPer-core packing under Poisson traffic:\n");
+    for (const FleetResult &r : poisson_runs)
+        printCoreMap(r);
+
+    if (poisson_runs.size() > 1) {
+        const FleetResult &ff = poisson_runs.front();
+        const FleetResult &lb = poisson_runs.back();
+        std::printf("\nShape check: first-fit concentrates load "
+                    "(per-core EU-util stddev %.3f) while "
+                    "load-balanced spreads it (stddev %.3f) and "
+                    "keeps the fleet p99 lowest; bursty arrivals "
+                    "inflate p99 and rejections at equal mean "
+                    "rate.\n",
+                    ff.coreEuUtil.stddev(), lb.coreEuUtil.stddev());
+    }
+    return 0;
+}

@@ -74,6 +74,21 @@ main()
     std::printf("Max V10/Neu10 tail-latency ratio: %.2fx (paper: up "
                 "to 4.6x)\n\n", worst_ratio);
 
+    bench::header("Figure 19 (suppl.)", "latency percentiles under "
+                                        "Neu10, milliseconds");
+    std::printf("%-12s %-5s %10s %10s %10s\n", "Pair", "W", "p50",
+                "p95", "p99");
+    bench::rule();
+    for (size_t i = 0; i < rows.size(); ++i) {
+        for (int w = 0; w < 2; ++w) {
+            const auto &t = rows[i].res[3].tenants[w];
+            std::printf("%-12s W%-4d %10.3f %10.3f %10.3f\n",
+                        pairs[i].label, w + 1, bench::toMs(t.p50()),
+                        bench::toMs(t.p95()), bench::toMs(t.p99()));
+        }
+    }
+    std::printf("\n");
+
     bench::header("Figure 20", "average request latency, normalized "
                                "to PMT (lower is better)");
     std::printf("%-12s %-5s %8s %8s %8s %8s\n", "Pair", "W", "PMT",

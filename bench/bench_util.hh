@@ -10,6 +10,7 @@
 #ifndef NEU10_BENCH_BENCH_UTIL_HH
 #define NEU10_BENCH_BENCH_UTIL_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -45,6 +46,29 @@ smokeTrim(std::vector<T> v, std::size_t keep = 2)
     if (smokeMode() && v.size() > keep)
         v.resize(keep);
     return v;
+}
+
+/**
+ * Rng seed for stochastic benches: NEU10_SEED=<n> overrides the
+ * compiled-in default so bench and smoke runs are reproducible (or
+ * deliberately varied) without recompiling. Parsed as base-10/0x...;
+ * an unparsable value falls back to @p fallback.
+ */
+inline std::uint64_t
+benchSeed(std::uint64_t fallback = 42)
+{
+    const char *v = std::getenv("NEU10_SEED");
+    if (v == nullptr || v[0] == '\0')
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 0);
+    if (end == v || *end != '\0') {
+        std::fprintf(stderr, "NEU10_SEED='%s' is not a number; using "
+                             "%llu\n",
+                     v, static_cast<unsigned long long>(fallback));
+        return fallback;
+    }
+    return parsed;
 }
 
 /** Print the bench banner. */

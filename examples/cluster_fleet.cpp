@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Cluster scenario: a provider runs a 2-board fleet (8 cores) serving
+ * eight tenants with different models, EU budgets and traffic shapes
+ * — steady Poisson services, a bursty ad-ranking tenant, and two
+ * diurnal consumer apps peaking at opposite times of day. The fleet
+ * places every vNPU with the load-balanced policy, then prints where
+ * each tenant landed and whether its latency SLO held.
+ *
+ * Run: ./build/examples/cluster_fleet
+ */
+
+#include <cstdio>
+
+#include "cluster/fleet.hh"
+#include "sim/clock.hh"
+#include "vnpu/allocator.hh"
+
+using namespace neu10;
+
+int
+main()
+{
+    const Clock clock;
+    const bool smoke = []() {
+        const char *v = std::getenv("NEU10_SMOKE");
+        return v != nullptr && v[0] != '\0' &&
+               !(v[0] == '0' && v[1] == '\0');
+    }();
+
+    FleetConfig cfg;
+    cfg.numBoards = 2; // x 4 cores per board
+    cfg.placement = PlacementPolicy::LoadBalanced;
+    cfg.corePolicy = PolicyKind::Neu10;
+    cfg.horizon = smoke ? 1e7 : 5e7;
+    cfg.maxCycles = 2e9;
+
+    struct App
+    {
+        const char *name;
+        ModelId model;
+        unsigned batch;
+        unsigned eus;
+        TrafficShape shape;
+        double rho;           ///< target utilization of its own vNPU
+        double phase;         ///< diurnal phase offset
+    };
+    const App apps[] = {
+        {"vision-1", ModelId::ResNet, 8, 6, TrafficShape::Poisson,
+         0.4, 0.0},
+        {"vision-2", ModelId::ResNet, 8, 6, TrafficShape::Poisson,
+         0.4, 0.0},
+        {"recsys-1", ModelId::Dlrm, 32, 4, TrafficShape::Poisson,
+         0.5, 0.0},
+        {"recsys-2", ModelId::Ncf, 32, 4, TrafficShape::Poisson,
+         0.4, 0.0},
+        {"ads-rank", ModelId::Dlrm, 32, 4, TrafficShape::Bursty,
+         0.6, 0.0},
+        {"ocr-edge", ModelId::Mnist, 8, 2, TrafficShape::Bursty,
+         0.6, 0.0},
+        {"app-east", ModelId::Mnist, 8, 2, TrafficShape::Diurnal,
+         0.35, 0.0},
+        {"app-west", ModelId::Ncf, 32, 4, TrafficShape::Diurnal,
+         0.35, 0.5},
+    };
+
+    for (size_t i = 0; i < std::size(apps); ++i) {
+        const App &app = apps[i];
+        const VnpuSizing sizing = sizeVnpuForModel(
+            app.model, app.batch, app.eus, cfg.board.core);
+        ClusterTenantSpec t;
+        t.model = app.model;
+        t.batch = app.batch;
+        t.eus = app.eus;
+        t.traffic.shape = app.shape;
+        t.traffic.ratePerSec = app.rho * cfg.board.core.freqHz /
+                               sizing.serviceEstimate();
+        t.traffic.seed = 1000 + i;
+        t.traffic.diurnalPhase = app.phase;
+        t.traffic.diurnalPeriodSec =
+            clock.toSeconds(cfg.horizon) / 2.0;
+        // Latency SLO: 10x the solo service estimate leaves
+        // room for open-loop queueing at moderate load.
+        t.sloCycles = 10.0 * sizing.serviceEstimate();
+        // Bursty tenants keep a shallow queue: shedding the burst at
+        // admission protects the latency of what is served.
+        t.maxQueueDepth =
+            app.shape == TrafficShape::Bursty ? 8 : 24;
+        cfg.tenants.push_back(t);
+    }
+
+    const FleetResult fleet = runFleet(cfg);
+
+    std::printf("Fleet: %u boards x %u cores, %s placement, %s "
+                "on-core scheduling\n\n",
+                cfg.numBoards, cfg.board.totalCores(),
+                fleet.placement.c_str(), fleet.policy.c_str());
+
+    std::printf("%-10s %-6s %5s %10s %7s %7s %10s %10s %6s\n",
+                "tenant", "model", "vNPU", "core", "served",
+                "reject", "p95 (ms)", "p99 (ms)", "SLO?");
+    std::printf("--------------------------------------------------"
+                "--------------------------\n");
+    for (size_t i = 0; i < cfg.tenants.size(); ++i) {
+        const App &app = apps[i];
+        const TenantPlacement &pl = fleet.placements[i];
+        const TenantResult &tr = fleet.tenants[i];
+        const double slo_ms =
+            clock.toSeconds(cfg.tenants[i].sloCycles) * 1e3;
+        const double p95_ms = clock.toSeconds(tr.p95()) * 1e3;
+        std::printf("%-10s %-6s %2uM%uV %6s %2u %7llu %6.1f%% "
+                    "%10.3f %10.3f %6s\n",
+                    app.name, tr.model.c_str(), pl.nMes, pl.nVes,
+                    "core", pl.core,
+                    static_cast<unsigned long long>(tr.completed),
+                    tr.submitted > 0
+                        ? 100.0 * tr.rejected / tr.submitted
+                        : 0.0,
+                    p95_ms, clock.toSeconds(tr.p99()) * 1e3,
+                    p95_ms <= slo_ms ? "ok" : "MISS");
+    }
+
+    std::printf("\nFleet totals: %llu served / %llu arrived "
+                "(%.1f%% rejected), goodput %.0f req/s, p99 %.3f "
+                "ms\n",
+                static_cast<unsigned long long>(fleet.completed),
+                static_cast<unsigned long long>(fleet.submitted),
+                100.0 * fleet.rejectionRate(), fleet.goodput,
+                clock.toSeconds(fleet.p99()) * 1e3);
+    std::printf("Core EU utilization: mean %.1f%%, stddev %.3f "
+                "across %zu cores\n",
+                100.0 * fleet.coreEuUtil.mean(),
+                fleet.coreEuUtil.stddev(), fleet.cores.size());
+    std::printf("\nReading: the load-balanced placer spreads the two "
+                "ResNet vNPUs onto different cores; the bursty ad "
+                "ranker sheds excess load through admission control "
+                "instead of blowing up its neighbors' tails; the two "
+                "diurnal apps peak half a day apart, so their shared "
+                "fleet absorbs both waves.\n");
+    return 0;
+}

@@ -1,0 +1,155 @@
+#include "cluster/fleet.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/clock.hh"
+#include "vnpu/allocator.hh"
+
+namespace neu10
+{
+
+FleetResult
+runFleet(const FleetConfig &config)
+{
+    NEU10_ASSERT(!config.tenants.empty(), "fleet needs tenants");
+    NEU10_ASSERT(config.totalCores() > 0, "fleet needs cores");
+
+    const NpuCoreConfig &core_cfg = config.board.core;
+    const unsigned cores_per_board = config.board.totalCores();
+    const Clock clock(core_cfg.freqHz);
+
+    FleetResult result;
+    result.policy = policyName(config.corePolicy);
+    result.placement = placementName(config.placement);
+    result.placements.resize(config.tenants.size());
+    result.tenants.resize(config.tenants.size());
+
+    // ---- size every vNPU and bin-pack the fleet -------------------
+    FleetPlacer placer(config.totalCores(), core_cfg);
+    for (size_t i = 0; i < config.tenants.size(); ++i) {
+        const ClusterTenantSpec &spec = config.tenants[i];
+        const VnpuSizing sizing = sizeVnpuForModel(
+            spec.model, spec.batch, spec.eus, core_cfg);
+
+        TenantPlacement &pl = result.placements[i];
+        pl.nMes = sizing.config.numMesPerCore;
+        pl.nVes = sizing.config.numVesPerCore;
+        pl.hbmBytes = sizing.config.memSizePerCore;
+        // Offered load: requests/s x busy EU-cycles per request,
+        // expressed in EU-cycles per cycle.
+        pl.load = spec.traffic.ratePerSec *
+                  (sizing.profile.meBusy + sizing.profile.veBusy) /
+                  core_cfg.freqHz;
+
+        PlacementRequest req;
+        req.nMes = pl.nMes;
+        req.nVes = pl.nVes;
+        req.hbmBytes = pl.hbmBytes;
+        req.load = pl.load;
+        pl.core = placer.place(req, config.placement);
+        if (!pl.placed())
+            ++result.unplacedTenants;
+    }
+
+    // ---- generate traffic and run every occupied core -------------
+    std::vector<std::vector<size_t>> residents(config.totalCores());
+    std::vector<std::vector<Cycles>> arrivals(config.tenants.size());
+    for (size_t i = 0; i < config.tenants.size(); ++i) {
+        const TenantPlacement &pl = result.placements[i];
+        arrivals[i] = generateArrivals(config.tenants[i].traffic,
+                                       config.horizon,
+                                       core_cfg.freqHz);
+        if (pl.placed()) {
+            residents[pl.core].push_back(i);
+        } else {
+            // The fleet turned the tenant away: every request of its
+            // stream counts as submitted and rejected.
+            TenantResult &tr = result.tenants[i];
+            tr.model = modelAbbrev(config.tenants[i].model);
+            tr.submitted = arrivals[i].size();
+            tr.rejected = arrivals[i].size();
+        }
+    }
+
+    result.cores.resize(config.totalCores());
+    std::vector<ServingResult> core_runs(config.totalCores());
+    for (CoreId c = 0; c < config.totalCores(); ++c) {
+        FleetCoreReport &rep = result.cores[c];
+        rep.core = c;
+        rep.board = c / cores_per_board;
+        rep.tenants = static_cast<unsigned>(residents[c].size());
+        if (residents[c].empty())
+            continue;
+
+        ServingConfig sc;
+        sc.core = core_cfg;
+        sc.policy = config.corePolicy;
+        sc.mode = ServingMode::OpenLoop;
+        sc.maxCycles = config.maxCycles;
+        for (size_t i : residents[c]) {
+            const ClusterTenantSpec &spec = config.tenants[i];
+            const TenantPlacement &pl = result.placements[i];
+            TenantSpec ts;
+            ts.model = spec.model;
+            ts.batch = spec.batch;
+            ts.nMes = pl.nMes;
+            ts.nVes = pl.nVes;
+            ts.priority = spec.priority;
+            ts.arrivals = std::move(arrivals[i]);
+            ts.maxQueueDepth = spec.maxQueueDepth;
+            ts.sloCycles = spec.sloCycles;
+            sc.tenants.push_back(std::move(ts));
+        }
+        core_runs[c] = runServing(sc);
+        rep.makespan = core_runs[c].makespan;
+        rep.completed = 0;
+        for (const auto &t : core_runs[c].tenants)
+            rep.completed += t.completed;
+        result.makespan = std::max(result.makespan, rep.makespan);
+    }
+    result.makespan = std::max(result.makespan, config.horizon);
+
+    // ---- aggregate fleet-wide SLO accounting ----------------------
+    for (CoreId c = 0; c < config.totalCores(); ++c) {
+        FleetCoreReport &rep = result.cores[c];
+        if (!residents[c].empty()) {
+            // Rescale per-core utilization onto the fleet makespan so
+            // a core that drained early is not flattered by its short
+            // measurement window.
+            const double scale = rep.makespan / result.makespan;
+            rep.meUsefulUtil = core_runs[c].meUsefulUtil * scale;
+            rep.veUtil = core_runs[c].veUtil * scale;
+            rep.euUtil = (rep.meUsefulUtil * core_cfg.numMes +
+                          rep.veUtil * core_cfg.numVes) /
+                         (core_cfg.numMes + core_cfg.numVes);
+            for (size_t k = 0; k < residents[c].size(); ++k) {
+                TenantResult &tr = result.tenants[residents[c][k]];
+                tr = std::move(core_runs[c].tenants[k]);
+                // Re-rate onto the fleet makespan: runServing divided
+                // by this core's own drain time, which would flatter
+                // tenants on early-draining cores (same rule as the
+                // utilization rescaling above).
+                const double secs =
+                    clock.toSeconds(std::max(1.0, result.makespan));
+                tr.throughput = tr.completed / secs;
+                tr.goodput = tr.sloMet / secs;
+            }
+        }
+        result.coreMeUtil.add(rep.meUsefulUtil);
+        result.coreEuUtil.add(rep.euUtil);
+    }
+
+    for (const TenantResult &tr : result.tenants) {
+        result.submitted += tr.submitted;
+        result.completed += tr.completed;
+        result.rejected += tr.rejected;
+        result.sloMet += tr.sloMet;
+        result.latencyCycles.merge(tr.latencyCycles);
+    }
+    result.goodput =
+        result.sloMet / clock.toSeconds(std::max(1.0, result.makespan));
+    return result;
+}
+
+} // namespace neu10

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Cluster-scale open-loop serving: a multi-board NPU fleet under
+ * trace-driven traffic with placement and SLO accounting.
+ *
+ * This is the layer the paper stops short of (§V evaluates collocated
+ * tenants on one physical core): N boards x M cores serve per-tenant
+ * open-loop arrival streams (cluster/traffic). Each tenant rents a
+ * vNPU sized by the §III-B allocator from its EU budget; a placement
+ * policy (cluster/placement) bin-packs the vNPUs onto cores; every
+ * core then runs the event-driven serving simulation in open-loop
+ * mode (runtime/serving) with per-tenant admission control. Results
+ * aggregate fleet-wide: p50/p95/p99 latency, goodput (requests
+ * meeting their SLO per second), rejection rate, and per-core
+ * utilization — the metrics a capacity-planning study sweeps over
+ * traffic shape x fleet size x placement policy x scheduler design.
+ *
+ * Cores are independent (no cross-core interference is modeled;
+ * tenants here are single-core vNPUs), so the fleet decomposes into
+ * per-core simulations that share nothing but the traffic clock.
+ */
+
+#ifndef NEU10_CLUSTER_FLEET_HH
+#define NEU10_CLUSTER_FLEET_HH
+
+#include <string>
+#include <vector>
+
+#include "cluster/placement.hh"
+#include "cluster/traffic.hh"
+#include "npu/config.hh"
+#include "runtime/serving.hh"
+#include "stats/distribution.hh"
+
+namespace neu10
+{
+
+/** One tenant of the fleet: a model, an EU budget, and a stream. */
+struct ClusterTenantSpec
+{
+    ModelId model = ModelId::Dlrm;
+    unsigned batch = 32;
+
+    /** EU budget; the §III-B allocator picks the ME:VE split. */
+    unsigned eus = 4;
+
+    /** Request stream description (shape, rate, seed). */
+    TrafficSpec traffic;
+
+    /** Per-request latency SLO in cycles (goodput numerator). */
+    Cycles sloCycles = kCyclesInf;
+
+    /** Admission depth: arrivals beyond this backlog are rejected. */
+    unsigned maxQueueDepth = 64;
+
+    double priority = 1.0;
+};
+
+/** Fleet experiment configuration. */
+struct FleetConfig
+{
+    unsigned numBoards = 4;
+    NpuBoardConfig board;     ///< per-board shape (chips x cores)
+
+    /** On-core scheduling design (PMT / V10 / Neu10-NH / Neu10). */
+    PolicyKind corePolicy = PolicyKind::Neu10;
+
+    PlacementPolicy placement = PlacementPolicy::FirstFit;
+
+    std::vector<ClusterTenantSpec> tenants;
+
+    /** Traffic-generation window in cycles. */
+    Cycles horizon = 5e7;
+
+    /** Per-core drain cap in cycles (guards saturated cores). */
+    Cycles maxCycles = 2e9;
+
+    /** Fleet-wide core count. */
+    unsigned
+    totalCores() const
+    {
+        return numBoards * board.totalCores();
+    }
+};
+
+/** Where one tenant's vNPU landed (parallel to config.tenants). */
+struct TenantPlacement
+{
+    CoreId core = kInvalidCore; ///< fleet-wide core index
+    unsigned nMes = 0;          ///< allocator's engine split
+    unsigned nVes = 0;
+    Bytes hbmBytes = 0;         ///< segment-rounded HBM reservation
+    double load = 0.0;          ///< offered EU-cycles/cycle estimate
+
+    bool
+    placed() const
+    {
+        return core != kInvalidCore;
+    }
+};
+
+/** Post-run per-core report. */
+struct FleetCoreReport
+{
+    CoreId core = 0;
+    unsigned board = 0;         ///< board the core belongs to
+    unsigned tenants = 0;       ///< resident vNPUs
+    std::uint64_t completed = 0;
+
+    /** Useful-ME / VE utilization over the *fleet* makespan, so
+     * cores that drained early compare fairly. */
+    double meUsefulUtil = 0.0;
+    double veUtil = 0.0;
+
+    /** Engine-count-weighted EU utilization (the billing unit). */
+    double euUtil = 0.0;
+
+    Cycles makespan = 0.0;      ///< this core's drain time
+};
+
+/** Whole-fleet outcome. */
+struct FleetResult
+{
+    std::string policy;         ///< core scheduling design
+    std::string placement;      ///< placement policy name
+
+    std::vector<TenantPlacement> placements;
+    std::vector<TenantResult> tenants; ///< open-loop per-tenant stats
+    std::vector<FleetCoreReport> cores;
+
+    /** Fleet-wide latency distribution (all completed requests). */
+    Distribution latencyCycles;
+
+    /** Per-core useful-ME utilizations (mean/stddev = balance). */
+    Distribution coreMeUtil;
+
+    /** Per-core EU utilizations (cross-core stddev = imbalance). */
+    Distribution coreEuUtil;
+
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0; ///< admission drops + unplaced-tenant
+                                ///< arrivals
+    std::uint64_t sloMet = 0;
+    unsigned unplacedTenants = 0;
+
+    Cycles makespan = 0.0;      ///< slowest core's drain time
+    double goodput = 0.0;       ///< SLO-met requests / second
+
+    /** Rejected fraction of all submitted requests. */
+    double
+    rejectionRate() const
+    {
+        return submitted > 0
+                   ? static_cast<double>(rejected) /
+                         static_cast<double>(submitted)
+                   : 0.0;
+    }
+
+    /** Fleet p50/p95/p99 in cycles. */
+    double p50() const { return latencyCycles.percentile(0.50); }
+    double p95() const { return latencyCycles.percentile(0.95); }
+    double p99() const { return latencyCycles.percentile(0.99); }
+};
+
+/**
+ * Run one fleet experiment. Deterministic: identical configs yield
+ * identical results (traffic is seeded, cores simulate in index
+ * order).
+ */
+FleetResult runFleet(const FleetConfig &config);
+
+} // namespace neu10
+
+#endif // NEU10_CLUSTER_FLEET_HH

@@ -1,0 +1,100 @@
+#include "cluster/placement.hh"
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace neu10
+{
+
+std::string
+placementName(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::FirstFit: return "first-fit";
+      case PlacementPolicy::BestFit: return "best-fit";
+      case PlacementPolicy::LoadBalanced: return "load-balanced";
+    }
+    panic("unknown placement policy %d", static_cast<int>(policy));
+}
+
+PlacementPolicy
+placementFromName(const std::string &name)
+{
+    const std::string low = toLower(name);
+    if (low == "first-fit" || low == "firstfit" || low == "ff")
+        return PlacementPolicy::FirstFit;
+    if (low == "best-fit" || low == "bestfit" || low == "bf")
+        return PlacementPolicy::BestFit;
+    if (low == "load-balanced" || low == "loadbalanced" ||
+        low == "load-balance" || low == "lb")
+        return PlacementPolicy::LoadBalanced;
+    fatal("unknown placement policy '%s' (want first-fit, best-fit "
+          "or load-balanced)", name.c_str());
+}
+
+FleetPlacer::FleetPlacer(unsigned num_cores, const NpuCoreConfig &core)
+{
+    NEU10_ASSERT(num_cores > 0, "fleet needs at least one core");
+    CoreCapacity cap;
+    cap.freeMes = core.numMes;
+    cap.freeVes = core.numVes;
+    cap.freeHbm = core.hbmBytes;
+    cores_.assign(num_cores, cap);
+}
+
+bool
+FleetPlacer::fits(const CoreCapacity &c, const PlacementRequest &r) const
+{
+    return c.freeMes >= r.nMes && c.freeVes >= r.nVes &&
+           c.freeHbm >= r.hbmBytes;
+}
+
+CoreId
+FleetPlacer::place(const PlacementRequest &request,
+                   PlacementPolicy policy)
+{
+    NEU10_ASSERT(request.nMes >= 1 && request.nVes >= 1,
+                 "a vNPU needs at least one ME and one VE");
+
+    CoreId best = kInvalidCore;
+    for (CoreId i = 0; i < cores_.size(); ++i) {
+        const CoreCapacity &c = cores_[i];
+        if (!fits(c, request))
+            continue;
+        if (policy == PlacementPolicy::FirstFit) {
+            best = i;
+            break;
+        }
+        if (best == kInvalidCore) {
+            best = i;
+            continue;
+        }
+        const CoreCapacity &b = cores_[best];
+        if (policy == PlacementPolicy::BestFit) {
+            // Tightest fit: least EU headroom once placed (HBM breaks
+            // EU ties so full-ish cores keep filling).
+            const unsigned eu_c = c.freeEus();
+            const unsigned eu_b = b.freeEus();
+            if (eu_c < eu_b ||
+                (eu_c == eu_b && c.freeHbm < b.freeHbm))
+                best = i;
+        } else { // LoadBalanced
+            if (c.load < b.load ||
+                (c.load == b.load && c.freeEus() > b.freeEus()))
+                best = i;
+        }
+    }
+
+    if (best == kInvalidCore)
+        return kInvalidCore;
+
+    CoreCapacity &c = cores_[best];
+    c.freeMes -= request.nMes;
+    c.freeVes -= request.nVes;
+    c.freeHbm -= request.hbmBytes;
+    c.load += request.load;
+    ++c.residents;
+    return best;
+}
+
+} // namespace neu10

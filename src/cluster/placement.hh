@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fleet-level vNPU placement (bin packing tenants onto cores).
+ *
+ * The §III-B allocator sizes a vNPU (ME/VE split, segment-rounded
+ * HBM); this module decides *which* physical core of a multi-board
+ * fleet hosts it. Placement is capacity-checked against dedicated
+ * engines and HBM segments (hardware isolation, §III-C) and weighs
+ * cores by an offered-load estimate — arrival rate x estimated busy
+ * EU-cycles per request — so the policies differ observably:
+ *
+ *  - FirstFit: lowest-indexed core with room. Fast, fills boards in
+ *    order, leaves the fleet tail idle at low load.
+ *  - BestFit: feasible core with the least EU headroom after the
+ *    placement (tightest fit). Packs densely, frees whole cores for
+ *    big tenants, concentrates contention.
+ *  - LoadBalanced: feasible core with the least offered load, ties
+ *    broken by EU headroom then index. Spreads heat, best tails.
+ */
+
+#ifndef NEU10_CLUSTER_PLACEMENT_HH
+#define NEU10_CLUSTER_PLACEMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "npu/config.hh"
+
+namespace neu10
+{
+
+/** Placement policies (see file doc). */
+enum class PlacementPolicy
+{
+    FirstFit = 0,
+    BestFit,
+    LoadBalanced,
+};
+
+/** Human-readable policy name ("first-fit", ...). */
+std::string placementName(PlacementPolicy policy);
+
+/** Parse a placement-policy name (case-insensitive).
+ * @throws FatalError on an unknown name. */
+PlacementPolicy placementFromName(const std::string &name);
+
+/** One vNPU's demand as the placer sees it. */
+struct PlacementRequest
+{
+    unsigned nMes = 1;
+    unsigned nVes = 1;
+    Bytes hbmBytes = 0;    ///< segment-rounded HBM demand
+    double load = 0.0;     ///< offered EU-cycles per cycle estimate
+};
+
+/** Remaining capacity and committed load of one fleet core. */
+struct CoreCapacity
+{
+    unsigned freeMes = 0;
+    unsigned freeVes = 0;
+    Bytes freeHbm = 0;
+    double load = 0.0;     ///< sum of placed requests' load estimates
+    unsigned residents = 0;
+
+    /** Free execution units (the bin-packing dimension). */
+    unsigned
+    freeEus() const
+    {
+        return freeMes + freeVes;
+    }
+};
+
+/** Bin packer for one fleet of identical cores. */
+class FleetPlacer
+{
+  public:
+    /** @param num_cores fleet-wide core count (boards x cores).
+     *  @param core      per-core physical capacity. */
+    FleetPlacer(unsigned num_cores, const NpuCoreConfig &core);
+
+    /**
+     * Place one request under @p policy.
+     * @return the chosen fleet-wide core index and commits the
+     *         capacity, or kInvalidCore when no core fits.
+     */
+    CoreId place(const PlacementRequest &request,
+                 PlacementPolicy policy);
+
+    /** Per-core remaining capacity (inspection / tests). */
+    const std::vector<CoreCapacity> &cores() const { return cores_; }
+
+  private:
+    bool fits(const CoreCapacity &c,
+              const PlacementRequest &r) const;
+
+    std::vector<CoreCapacity> cores_;
+};
+
+} // namespace neu10
+
+#endif // NEU10_CLUSTER_PLACEMENT_HH

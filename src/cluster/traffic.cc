@@ -1,0 +1,172 @@
+#include "cluster/traffic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace neu10
+{
+
+std::string
+trafficShapeName(TrafficShape shape)
+{
+    switch (shape) {
+      case TrafficShape::Poisson: return "poisson";
+      case TrafficShape::Bursty: return "bursty";
+      case TrafficShape::Diurnal: return "diurnal";
+      case TrafficShape::Trace: return "trace";
+    }
+    panic("unknown traffic shape %d", static_cast<int>(shape));
+}
+
+TrafficShape
+trafficShapeFromName(const std::string &name)
+{
+    const std::string low = toLower(name);
+    if (low == "poisson")
+        return TrafficShape::Poisson;
+    if (low == "bursty" || low == "mmpp")
+        return TrafficShape::Bursty;
+    if (low == "diurnal")
+        return TrafficShape::Diurnal;
+    if (low == "trace")
+        return TrafficShape::Trace;
+    fatal("unknown traffic shape '%s' (want poisson, bursty, diurnal "
+          "or trace)", name.c_str());
+}
+
+namespace
+{
+
+/** Homogeneous Poisson stream at @p rate_per_cycle over the horizon. */
+std::vector<Cycles>
+poissonStream(Rng &rng, double rate_per_cycle, Cycles horizon)
+{
+    std::vector<Cycles> out;
+    const double mean_gap = 1.0 / rate_per_cycle;
+    for (Cycles t = rng.exponential(mean_gap); t < horizon;
+         t += rng.exponential(mean_gap))
+        out.push_back(t);
+    return out;
+}
+
+/**
+ * MMPP-2: alternate base / burst states with exponential dwell times;
+ * arrivals within a state are Poisson at the state rate. State
+ * switches exploit memorylessness: a candidate arrival past the next
+ * switch is discarded and redrawn at the new state's rate.
+ */
+std::vector<Cycles>
+burstyStream(const TrafficSpec &spec, Rng &rng, double freq_hz,
+             Cycles horizon)
+{
+    NEU10_ASSERT(spec.burstMultiplier > 1.0,
+                 "burst state must be faster than the base state");
+    NEU10_ASSERT(spec.burstFraction > 0.0 && spec.burstFraction < 1.0,
+                 "burst fraction must be in (0, 1)");
+
+    // Long-run mean (1-f) b + f mb = rate  ->  base rate b.
+    const double f = spec.burstFraction;
+    const double base_rate =
+        spec.ratePerSec / (1.0 - f + f * spec.burstMultiplier);
+    const double rate_cyc[2] = {
+        base_rate / freq_hz,                         // base
+        base_rate * spec.burstMultiplier / freq_hz,  // burst
+    };
+    // Dwell times: burst dwell is given; base dwell makes the time
+    // fraction come out at f (f = Du / (Du + Db)).
+    const double dwell_burst = spec.burstDwellSec * freq_hz;
+    const double dwell_cyc[2] = {dwell_burst * (1.0 - f) / f,
+                                 dwell_burst};
+
+    std::vector<Cycles> out;
+    // Start from the stationary state distribution so short horizons
+    // are not biased toward the base state.
+    int state = rng.uniform() < f ? 1 : 0;
+    Cycles t = 0.0;
+    Cycles next_switch = rng.exponential(dwell_cyc[state]);
+    while (t < horizon) {
+        const Cycles candidate =
+            t + rng.exponential(1.0 / rate_cyc[state]);
+        if (candidate >= next_switch) {
+            t = next_switch;
+            state ^= 1;
+            next_switch = t + rng.exponential(dwell_cyc[state]);
+            continue;
+        }
+        t = candidate;
+        if (t < horizon)
+            out.push_back(t);
+    }
+    return out;
+}
+
+/**
+ * Non-homogeneous Poisson with a sinusoidal day curve, sampled by
+ * Lewis-Shedler thinning against the peak rate.
+ */
+std::vector<Cycles>
+diurnalStream(const TrafficSpec &spec, Rng &rng, double freq_hz,
+              Cycles horizon)
+{
+    NEU10_ASSERT(spec.diurnalDepth >= 0.0 && spec.diurnalDepth <= 1.0,
+                 "diurnal depth must be in [0, 1]");
+    NEU10_ASSERT(spec.diurnalPeriodSec > 0.0,
+                 "diurnal period must be positive");
+    const double rate_cyc = spec.ratePerSec / freq_hz;
+    const double peak = rate_cyc * (1.0 + spec.diurnalDepth);
+    const Cycles period = spec.diurnalPeriodSec * freq_hz;
+    const double two_pi = 2.0 * 3.14159265358979323846;
+
+    std::vector<Cycles> out;
+    const double mean_gap = 1.0 / peak;
+    for (Cycles t = rng.exponential(mean_gap); t < horizon;
+         t += rng.exponential(mean_gap)) {
+        const double lambda =
+            rate_cyc *
+            (1.0 + spec.diurnalDepth *
+                       std::sin(two_pi * (t / period +
+                                          spec.diurnalPhase)));
+        if (rng.uniform() * peak < lambda)
+            out.push_back(t);
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+std::vector<Cycles>
+generateArrivals(const TrafficSpec &spec, Cycles horizon,
+                 double freq_hz)
+{
+    NEU10_ASSERT(horizon > 0.0, "traffic horizon must be positive");
+    NEU10_ASSERT(freq_hz > 0.0, "clock frequency must be positive");
+
+    if (spec.shape == TrafficShape::Trace) {
+        std::vector<Cycles> out;
+        for (Cycles t : spec.trace)
+            if (t >= 0.0 && t < horizon)
+                out.push_back(t);
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+    NEU10_ASSERT(spec.ratePerSec > 0.0,
+                 "arrival rate must be positive");
+    Rng rng(spec.seed);
+    switch (spec.shape) {
+      case TrafficShape::Poisson:
+        return poissonStream(rng, spec.ratePerSec / freq_hz, horizon);
+      case TrafficShape::Bursty:
+        return burstyStream(spec, rng, freq_hz, horizon);
+      case TrafficShape::Diurnal:
+        return diurnalStream(spec, rng, freq_hz, horizon);
+      case TrafficShape::Trace:
+        break; // handled above
+    }
+    panic("unknown traffic shape %d", static_cast<int>(spec.shape));
+}
+
+} // namespace neu10

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Open-loop traffic generation for cluster-scale serving.
+ *
+ * Datacenter NPU fleets see request streams, not closed loops: tenants
+ * submit independently of service completions, rates vary over the day
+ * and bursts are the norm (the TPU serving study's motivation for
+ * provisioning to tail load). This module synthesizes per-tenant
+ * arrival-time streams from the seeded neu10::Rng so every experiment
+ * is bit-reproducible:
+ *
+ *  - Poisson: homogeneous arrivals at ratePerSec (exponential
+ *    inter-arrival times) — the classic open-loop baseline.
+ *  - Bursty: a 2-state Markov-modulated Poisson process (MMPP-2). The
+ *    stream alternates between a base state and a burst state whose
+ *    rate is burstMultiplier x; exponential dwell times are chosen so
+ *    the long-run burst-time fraction is burstFraction. Models flash
+ *    crowds and retry storms.
+ *  - Diurnal: a non-homogeneous Poisson process whose rate follows a
+ *    sinusoidal day curve (peak-to-trough controlled by diurnalDepth),
+ *    sampled by Lewis-Shedler thinning. Replayable: the same spec and
+ *    seed reproduce the same trace.
+ *  - Trace: replay an explicit arrival-time vector (captured from a
+ *    production log or an earlier generator run).
+ */
+
+#ifndef NEU10_CLUSTER_TRAFFIC_HH
+#define NEU10_CLUSTER_TRAFFIC_HH
+
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace neu10
+{
+
+/** Arrival-stream families (see file doc). */
+enum class TrafficShape
+{
+    Poisson = 0,
+    Bursty,
+    Diurnal,
+    Trace,
+};
+
+/** Human-readable shape name ("poisson", "bursty", ...). */
+std::string trafficShapeName(TrafficShape shape);
+
+/** Parse a shape name (case-insensitive). @throws FatalError. */
+TrafficShape trafficShapeFromName(const std::string &name);
+
+/** One tenant's request-stream description. */
+struct TrafficSpec
+{
+    TrafficShape shape = TrafficShape::Poisson;
+
+    /** Mean arrival rate in requests per second (long-run average for
+     * every shape, including bursty and diurnal). */
+    double ratePerSec = 100.0;
+
+    /** Stream seed; equal specs and seeds yield equal streams. */
+    std::uint64_t seed = 1;
+
+    // --- Bursty (MMPP-2) -------------------------------------------
+    /** Burst-state rate relative to the base state (> 1). */
+    double burstMultiplier = 8.0;
+
+    /** Long-run fraction of time spent in the burst state, (0, 1). */
+    double burstFraction = 0.1;
+
+    /** Mean dwell time in the burst state, seconds. */
+    double burstDwellSec = 2e-3;
+
+    // --- Diurnal ---------------------------------------------------
+    /** Sinusoid amplitude as a fraction of the mean rate, [0, 1]. */
+    double diurnalDepth = 0.8;
+
+    /** Length of one simulated "day", seconds. */
+    double diurnalPeriodSec = 0.05;
+
+    /** Phase offset in [0, 1) of a period (0 starts at the mean,
+     * rising). Lets collocated tenants peak at different times. */
+    double diurnalPhase = 0.0;
+
+    // --- Trace -----------------------------------------------------
+    /** Explicit arrival times in cycles (shape == Trace). */
+    std::vector<Cycles> trace;
+};
+
+/**
+ * Generate the arrival stream described by @p spec over
+ * [0, @p horizon) cycles on a @p freq_hz clock. Deterministic in the
+ * spec. Arrival times are sorted non-decreasing.
+ */
+std::vector<Cycles> generateArrivals(const TrafficSpec &spec,
+                                     Cycles horizon, double freq_hz);
+
+} // namespace neu10
+
+#endif // NEU10_CLUSTER_TRAFFIC_HH

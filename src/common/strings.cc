@@ -1,5 +1,6 @@
 #include "common/strings.hh"
 
+#include <cctype>
 #include <cstdarg>
 #include <cstdio>
 
@@ -68,6 +69,17 @@ join(const std::vector<std::string> &parts, const std::string &sep)
             out += sep;
         out += parts[i];
     }
+    return out;
+}
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s)
+        out += static_cast<char>(std::tolower(
+            static_cast<unsigned char>(c)));
     return out;
 }
 

@@ -34,6 +34,9 @@ std::string formatSeconds(double seconds);
 std::string join(const std::vector<std::string> &parts,
                  const std::string &sep);
 
+/** ASCII lowercase copy (name parsers: policies, traffic shapes). */
+std::string toLower(const std::string &s);
+
 } // namespace neu10
 
 #endif // NEU10_COMMON_STRINGS_HH

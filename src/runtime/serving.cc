@@ -31,39 +31,17 @@ compileFor(const TenantSpec &spec, PolicyKind policy,
     return lowerToVliw(graph, core.numMes, core.numVes, core.machine());
 }
 
-ServingResult
-runServing(const ServingConfig &config)
+namespace
 {
-    NEU10_ASSERT(!config.tenants.empty(), "experiment needs tenants");
 
-    // Compile every tenant's model once.
-    std::vector<CompiledModel> programs;
-    programs.reserve(config.tenants.size());
-    for (const auto &spec : config.tenants)
-        programs.push_back(compileFor(spec, config.policy, config.core));
-
-    // Engine slots per tenant.
-    std::vector<VnpuSlot> slots;
-    for (const auto &spec : config.tenants) {
-        VnpuSlot s;
-        s.nMes = spec.nMes;
-        s.nVes = spec.nVes;
-        s.priority = spec.priority;
-        slots.push_back(s);
-    }
-
-    EventQueue queue;
-    NpuCoreSim core(queue, config.core, makePolicy(config.policy),
-                    std::move(slots));
-    core.setCaptureOpTimings(config.captureOpTimings);
-    core.setCaptureAssignment(config.captureAssignment);
-
-    ServingResult result;
-    result.policy = policyName(config.policy);
-    result.tenants.resize(config.tenants.size());
-    for (size_t i = 0; i < config.tenants.size(); ++i)
-        result.tenants[i].model = modelAbbrev(config.tenants[i].model);
-
+/** Closed loop (§V-A): resubmit on completion until every tenant
+ * reaches minRequests. @return the measurement stop time. */
+Cycles
+driveClosedLoop(const ServingConfig &config,
+                const std::vector<CompiledModel> &programs,
+                EventQueue &queue, NpuCoreSim &core,
+                ServingResult &result)
+{
     bool stopped = false;
     Cycles stop_time = 0.0;
 
@@ -107,11 +85,102 @@ runServing(const ServingConfig &config)
         queue.step();
     }
     if (!stopped) {
-        stopped = true;
         stop_time = queue.now();
         warn("serving run hit the %g-cycle cap before %u requests",
              config.maxCycles, config.minRequests);
     }
+    return stop_time;
+}
+
+/** Open loop: precomputed arrival streams drive submissions through
+ * per-tenant admission control (backlog capped at maxQueueDepth);
+ * the run drains every admitted request or hits the cycle cap.
+ * @return the drain time. */
+Cycles
+driveOpenLoop(const ServingConfig &config,
+              const std::vector<CompiledModel> &programs,
+              EventQueue &queue, NpuCoreSim &core,
+              ServingResult &result)
+{
+    std::vector<std::uint64_t> inflight(config.tenants.size(), 0);
+
+    auto on_complete = [&](std::uint32_t i, const RequestResult &r) {
+        TenantResult &tr = result.tenants[i];
+        --inflight[i];
+        ++tr.completed;
+        tr.latencyCycles.add(r.latency());
+        if (r.latency() <= config.tenants[i].sloCycles)
+            ++tr.sloMet;
+        if (config.captureOpTimings)
+            tr.opTimings.push_back(r.opTimings);
+    };
+
+    auto on_arrival = [&](std::uint32_t i) {
+        TenantResult &tr = result.tenants[i];
+        ++tr.submitted;
+        if (inflight[i] >= config.tenants[i].maxQueueDepth) {
+            ++tr.rejected;
+            return;
+        }
+        ++inflight[i];
+        core.submit(i, &programs[i],
+                    [&, i](const RequestResult &r) {
+                        on_complete(i, r);
+                    });
+    };
+
+    for (std::uint32_t i = 0; i < config.tenants.size(); ++i)
+        for (Cycles when : config.tenants[i].arrivals)
+            queue.schedule(when, [&, i](Cycles) { on_arrival(i); },
+                           EventPriority::Arrival);
+
+    while (!queue.empty() && queue.now() < config.maxCycles)
+        queue.step();
+    if (!queue.empty())
+        warn("open-loop run hit the %g-cycle cap with %zu events "
+             "pending", config.maxCycles, queue.pending());
+    return queue.now();
+}
+
+} // anonymous namespace
+
+ServingResult
+runServing(const ServingConfig &config)
+{
+    NEU10_ASSERT(!config.tenants.empty(), "experiment needs tenants");
+
+    // Compile every tenant's model once.
+    std::vector<CompiledModel> programs;
+    programs.reserve(config.tenants.size());
+    for (const auto &spec : config.tenants)
+        programs.push_back(compileFor(spec, config.policy, config.core));
+
+    // Engine slots per tenant.
+    std::vector<VnpuSlot> slots;
+    for (const auto &spec : config.tenants) {
+        VnpuSlot s;
+        s.nMes = spec.nMes;
+        s.nVes = spec.nVes;
+        s.priority = spec.priority;
+        slots.push_back(s);
+    }
+
+    EventQueue queue;
+    NpuCoreSim core(queue, config.core, makePolicy(config.policy),
+                    std::move(slots));
+    core.setCaptureOpTimings(config.captureOpTimings);
+    core.setCaptureAssignment(config.captureAssignment);
+
+    ServingResult result;
+    result.policy = policyName(config.policy);
+    result.tenants.resize(config.tenants.size());
+    for (size_t i = 0; i < config.tenants.size(); ++i)
+        result.tenants[i].model = modelAbbrev(config.tenants[i].model);
+
+    const Cycles stop_time =
+        config.mode == ServingMode::OpenLoop
+            ? driveOpenLoop(config, programs, queue, core, result)
+            : driveClosedLoop(config, programs, queue, core, result);
 
     const Cycles window = std::max(1.0, stop_time);
     const Clock clock(config.core.freqHz);
@@ -125,6 +194,7 @@ runServing(const ServingConfig &config)
         TenantResult &tr = result.tenants[i];
         const VnpuSlot &slot = core.slots()[i];
         tr.throughput = tr.completed / clock.toSeconds(window);
+        tr.goodput = tr.sloMet / clock.toSeconds(window);
         tr.blockedFrac = slot.blockedByHarvest / window;
         tr.reclaims = slot.reclaimPreemptions;
         if (config.captureAssignment) {

@@ -2,14 +2,24 @@
  * @file
  * Multi-tenant serving experiments (§V-A methodology).
  *
- * Reproduces the paper's measurement loop: collocated tenants each run
- * inference requests continuously (closed loop) on one physical core
- * under a chosen design (PMT / V10 / Neu10-NH / Neu10); the run ends
- * once every tenant has completed a minimum number of requests (or a
- * simulated-time cap triggers). Outputs per-tenant latency
- * distributions, throughput, harvest-blocked time (Table III), core
- * utilizations (Fig. 22), optional per-operator timings (Fig. 23) and
- * engine-assignment traces (Fig. 24).
+ * Two measurement loops share one core simulator:
+ *
+ *  - Closed loop (the paper's §V-A setup): collocated tenants each run
+ *    inference requests continuously on one physical core under a
+ *    chosen design (PMT / V10 / Neu10-NH / Neu10); the run ends once
+ *    every tenant has completed a minimum number of requests (or a
+ *    simulated-time cap triggers).
+ *
+ *  - Open loop (datacenter-style, used by src/cluster): each tenant
+ *    brings a precomputed arrival-time stream; requests are admitted
+ *    while the tenant's backlog is below its admission depth and
+ *    rejected otherwise, and completions are checked against a
+ *    per-tenant latency SLO. The run drains every admitted request.
+ *
+ * Outputs per-tenant latency distributions (p50/p95/p99), throughput,
+ * goodput and rejection counts (open loop), harvest-blocked time
+ * (Table III), core utilizations (Fig. 22), optional per-operator
+ * timings (Fig. 23) and engine-assignment traces (Fig. 24).
  */
 
 #ifndef NEU10_RUNTIME_SERVING_HH
@@ -31,12 +41,39 @@ namespace neu10
 /** One collocated tenant in a serving experiment. */
 struct TenantSpec
 {
+    TenantSpec() = default;
+
+    /** Closed-loop shorthand used throughout the benches. */
+    TenantSpec(ModelId model_, unsigned batch_, unsigned n_mes,
+               unsigned n_ves, double priority_ = 1.0,
+               unsigned outstanding_ = 1)
+        : model(model_), batch(batch_), nMes(n_mes), nVes(n_ves),
+          priority(priority_), outstanding(outstanding_)
+    {}
+
     ModelId model = ModelId::Bert;
     unsigned batch = 32;
     unsigned nMes = 2;        ///< vNPU engine allocation on the core
     unsigned nVes = 2;
     double priority = 1.0;
     unsigned outstanding = 1; ///< closed-loop requests in flight
+
+    // --- open-loop fields (ServingMode::OpenLoop only) -------------
+    /** Request arrival times in cycles, non-decreasing. */
+    std::vector<Cycles> arrivals;
+
+    /** Admission depth: arrivals beyond this backlog are rejected. */
+    unsigned maxQueueDepth = 64;
+
+    /** Latency SLO in cycles; completions within it count as goodput. */
+    Cycles sloCycles = kCyclesInf;
+};
+
+/** How requests are generated (see file doc). */
+enum class ServingMode
+{
+    ClosedLoop = 0, ///< resubmit-on-completion, §V-A methodology
+    OpenLoop,       ///< arrival-driven with admission control
 };
 
 /** Experiment configuration. */
@@ -44,9 +81,12 @@ struct ServingConfig
 {
     NpuCoreConfig core;
     PolicyKind policy = PolicyKind::Neu10;
+    ServingMode mode = ServingMode::ClosedLoop;
     std::vector<TenantSpec> tenants;
 
-    /** Stop once the slowest tenant completes this many requests. */
+    /** Closed loop: stop once the slowest tenant completes this many
+     * requests. Ignored in open loop (the arrival streams bound the
+     * experiment). */
     unsigned minRequests = 20;
 
     /** Hard cap on simulated cycles (guards tiny/huge model mixes). */
@@ -66,6 +106,12 @@ struct TenantResult
     double blockedFrac = 0.0;     ///< Table III: blocked-by-harvest
     unsigned reclaims = 0;
 
+    // --- open-loop accounting (zero in closed loop) ----------------
+    std::uint64_t submitted = 0;  ///< arrivals seen
+    std::uint64_t rejected = 0;   ///< admission-control drops
+    std::uint64_t sloMet = 0;     ///< completions within sloCycles
+    double goodput = 0.0;         ///< SLO-met requests / second
+
     /** Per-request operator timings (captureOpTimings). */
     std::vector<std::vector<OpTiming>> opTimings;
 
@@ -73,11 +119,25 @@ struct TenantResult
     TimeSeries assignedMes;
     TimeSeries assignedVes;
 
+    /** Median latency in cycles. */
+    double
+    p50() const
+    {
+        return latencyCycles.percentile(0.50);
+    }
+
     /** p95 latency in cycles (Fig. 19's metric). */
     double
     p95() const
     {
         return latencyCycles.percentile(0.95);
+    }
+
+    /** p99 tail latency in cycles (datacenter SLO metric). */
+    double
+    p99() const
+    {
+        return latencyCycles.percentile(0.99);
     }
 };
 

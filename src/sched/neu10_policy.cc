@@ -203,7 +203,8 @@ Neu10Policy::scheduleVes(NpuCoreSim &core, Cycles now)
             const auto grants = maxMinAllocate(demands, slot_left[s]);
             for (size_t i = 0; i < mine.size(); ++i) {
                 mine[i]->veShare = grants[i];
-                slot_left[s] -= grants[i];
+                slot_left[s] =
+                    std::max(0.0, slot_left[s] - grants[i]);
             }
         }
     };

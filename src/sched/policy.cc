@@ -1,6 +1,7 @@
 #include "sched/policy.hh"
 
 #include "common/logging.hh"
+#include "common/strings.hh"
 #include "sched/neu10_policy.hh"
 #include "sched/pmt_policy.hh"
 #include "sched/v10_policy.hh"
@@ -18,6 +19,22 @@ policyName(PolicyKind kind)
       case PolicyKind::Pmt: return "PMT";
     }
     panic("unknown policy kind %d", static_cast<int>(kind));
+}
+
+PolicyKind
+policyFromName(const std::string &name)
+{
+    const std::string low = toLower(name);
+    if (low == "neu10")
+        return PolicyKind::Neu10;
+    if (low == "neu10-nh" || low == "neu10nh" || low == "nh")
+        return PolicyKind::Neu10NH;
+    if (low == "v10")
+        return PolicyKind::V10;
+    if (low == "pmt")
+        return PolicyKind::Pmt;
+    fatal("unknown scheduling policy '%s' (want neu10, neu10-nh, "
+          "v10 or pmt)", name.c_str());
 }
 
 std::unique_ptr<SchedulerPolicy>

@@ -66,6 +66,13 @@ enum class PolicyKind
 /** Human-readable policy name. */
 std::string policyName(PolicyKind kind);
 
+/**
+ * Parse a policy name back to its kind (case-insensitive, accepts
+ * "neu10-nh" / "neu10nh" / "nh" for Neu10NH). Used by bench CLIs.
+ * @throws FatalError on an unknown name.
+ */
+PolicyKind policyFromName(const std::string &name);
+
 /** Instantiate a policy. */
 std::unique_ptr<SchedulerPolicy> makePolicy(PolicyKind kind);
 

@@ -155,7 +155,7 @@ V10Policy::scheduleVes(NpuCoreSim &core, Cycles now)
         }
         if (u->kind == UTopKind::Me) {
             u->veShare = std::min(u->veDemandRate(), left);
-            left -= u->veShare;
+            left = std::max(0.0, left - u->veShare);
         } else {
             ve_units.push_back(u);
             demands.push_back(core.config().numVes);

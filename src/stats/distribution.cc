@@ -71,6 +71,15 @@ Distribution::stddev() const
 }
 
 void
+Distribution::merge(const Distribution &other)
+{
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sum_ += other.sum_;
+    dirty_ = true;
+}
+
+void
 Distribution::reset()
 {
     samples_.clear();

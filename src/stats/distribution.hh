@@ -51,6 +51,12 @@ class Distribution
     /** Standard deviation (population); 0 when fewer than 2 samples. */
     double stddev() const;
 
+    /**
+     * Absorb every sample of @p other (fleet-wide aggregation: merge
+     * per-core latency distributions into one cluster distribution).
+     */
+    void merge(const Distribution &other);
+
     /** Drop all samples. */
     void reset();
 

@@ -30,8 +30,14 @@ Hypervisor::hcCreateVnpu(TenantId tenant, const VnpuConfig &config,
 {
     const VnpuId id = manager_.create(tenant, config, isolation);
     iommu_.attach(id);
-    MmioRegion region{nextMmioBase_, kMmioWindow};
-    nextMmioBase_ += kMmioWindow;
+    MmioRegion region;
+    if (!freeMmio_.empty()) {
+        region = freeMmio_.back();
+        freeMmio_.pop_back();
+    } else {
+        region = MmioRegion{nextMmioBase_, kMmioWindow};
+        nextMmioBase_ += kMmioWindow;
+    }
     mmio_.emplace(id, region);
     return id;
 }
@@ -49,7 +55,11 @@ Hypervisor::hcDestroyVnpu(TenantId tenant, VnpuId id)
 {
     checkOwner(tenant, id);
     iommu_.detach(id);
-    mmio_.erase(id);
+    const auto it = mmio_.find(id);
+    if (it != mmio_.end()) {
+        freeMmio_.push_back(it->second);
+        mmio_.erase(it);
+    }
     manager_.destroy(id);
 }
 

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "virt/iommu.hh"
 #include "virt/manager.hh"
@@ -66,6 +67,10 @@ class Hypervisor
     VnpuManager manager_;
     Iommu iommu_;
     std::unordered_map<VnpuId, MmioRegion> mmio_;
+    // Windows of destroyed vNPUs, reused LIFO before the BAR space
+    // grows — the guest-physical aperture is finite, so long-lived
+    // hosts must recycle (tested in test_virt).
+    std::vector<MmioRegion> freeMmio_;
     std::uint64_t nextMmioBase_ = 0xf000'0000ull;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "compiler/lower.hh"
 
 namespace neu10
 {
@@ -136,6 +137,54 @@ allocateVnpu(const WorkloadProfile &prof, unsigned total_eus,
 
     cfg.validate();
     return cfg;
+}
+
+Cycles
+VnpuSizing::serviceEstimate() const
+{
+    const Cycles engine_time =
+        profile.referenceTime *
+        allocNormalizedTime(profile.m, profile.v,
+                            config.numMesPerCore,
+                            config.numVesPerCore);
+    const Cycles dma_time =
+        hbmBytesPerCycle > 0.0
+            ? static_cast<double>(profile.bytes) / hbmBytesPerCycle
+            : 0.0;
+    return std::max(engine_time, dma_time);
+}
+
+VnpuSizing
+sizeVnpuForModel(ModelId model, unsigned batch, unsigned total_eus,
+                 const NpuCoreConfig &core)
+{
+    const DnnGraph graph = buildModel(model, batch);
+    VnpuSizing sizing;
+    sizing.hbmBytesPerCycle = core.hbmBytesPerCycle();
+    sizing.profile = profileWorkload(graph, core.numMes, core.numVes,
+                                     sizing.hbmBytesPerCycle,
+                                     core.machine());
+    sizing.footprint = lowerToNeuIsa(graph, core.numMes, core.numVes,
+                                     core.machine())
+                           .hbmFootprint;
+    sizing.config = allocateVnpu(sizing.profile, total_eus,
+                                 sizing.footprint, core);
+
+    // Clamp the split to the core shape (see header): only when the
+    // budget fits the core at all; an over-core budget stays as-is
+    // for the placer to reject.
+    unsigned &nm = sizing.config.numMesPerCore;
+    unsigned &nv = sizing.config.numVesPerCore;
+    if (total_eus <= core.numMes + core.numVes) {
+        if (nm > core.numMes) {
+            nv = std::min(nv + (nm - core.numMes), core.numVes);
+            nm = core.numMes;
+        } else if (nv > core.numVes) {
+            nm = std::min(nm + (nv - core.numVes), core.numMes);
+            nv = core.numVes;
+        }
+    }
+    return sizing;
 }
 
 } // namespace neu10

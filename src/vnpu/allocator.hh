@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "compiler/profile.hh"
+#include "models/zoo.hh"
 #include "npu/config.hh"
 #include "vnpu/config.hh"
 
@@ -75,6 +76,40 @@ std::vector<AllocPoint> allocSweep(double m, double v, unsigned max_eus);
 VnpuConfig allocateVnpu(const WorkloadProfile &prof, unsigned total_eus,
                         Bytes footprint,
                         const NpuCoreConfig &core = {});
+
+/** A workload-sized vNPU plus the estimates that sized it. */
+struct VnpuSizing
+{
+    VnpuConfig config;       ///< allocator's pick (engines + memory)
+    WorkloadProfile profile; ///< m, v and busy-cycle estimates
+    Bytes footprint = 0;     ///< compiler HBM footprint estimate
+    double hbmBytesPerCycle = 0.0; ///< core bandwidth used to profile
+
+    /**
+     * Estimated solo service time (cycles per request) at the chosen
+     * engine allocation: the 1-ME/1-VE reference runtime scaled by
+     * Eq. (1)'s normalized time (T(1,1) = 1 by construction), floored
+     * by the HBM transfer time so bandwidth-bound workloads (DLRM)
+     * are not under-estimated.
+     */
+    Cycles serviceEstimate() const;
+};
+
+/**
+ * One-stop sizing for the fleet placer and provider tooling: profile
+ * the model at @p batch on @p core, estimate its HBM footprint via the
+ * NeuISA lowering, and run the §III-B allocation for @p total_eus.
+ *
+ * Unlike raw allocateVnpu(), the engine split is clamped to the
+ * physical core shape: when k* wants more of one engine type than the
+ * core has, the excess shifts to the other type so the tenant still
+ * gets the EUs it pays for (a 5:1 pick on a 4ME/4VE core becomes
+ * 4:2). A budget exceeding the whole core is left unclamped — no
+ * core can host it and the placer must reject it.
+ */
+VnpuSizing sizeVnpuForModel(ModelId model, unsigned batch,
+                            unsigned total_eus,
+                            const NpuCoreConfig &core = {});
 
 } // namespace neu10
 

@@ -1,0 +1,499 @@
+/**
+ * @file
+ * Cluster-layer tests: traffic generation (determinism, rate, shape),
+ * fleet placement (capacity respected, policies differ), open-loop
+ * serving (admission control, SLO accounting) and whole-fleet runs.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "cluster/fleet.hh"
+#include "cluster/placement.hh"
+#include "cluster/traffic.hh"
+#include "common/logging.hh"
+#include "runtime/serving.hh"
+#include "sim/clock.hh"
+#include "vnpu/allocator.hh"
+
+namespace neu10
+{
+namespace
+{
+
+// ------------------------------------------------------- traffic
+
+TEST(Traffic, FixedSeedYieldsIdenticalSchedule)
+{
+    for (auto shape : {TrafficShape::Poisson, TrafficShape::Bursty,
+                       TrafficShape::Diurnal}) {
+        TrafficSpec spec;
+        spec.shape = shape;
+        spec.ratePerSec = 20000.0;
+        spec.seed = 7;
+        const auto a = generateArrivals(spec, 5e6, 1.05e9);
+        const auto b = generateArrivals(spec, 5e6, 1.05e9);
+        ASSERT_EQ(a.size(), b.size())
+            << trafficShapeName(shape);
+        for (size_t i = 0; i < a.size(); ++i)
+            ASSERT_DOUBLE_EQ(a[i], b[i]) << trafficShapeName(shape);
+        ASSERT_FALSE(a.empty()) << trafficShapeName(shape);
+    }
+}
+
+TEST(Traffic, SeedChangesSchedule)
+{
+    TrafficSpec spec;
+    spec.ratePerSec = 20000.0;
+    spec.seed = 7;
+    const auto a = generateArrivals(spec, 5e6, 1.05e9);
+    spec.seed = 8;
+    const auto b = generateArrivals(spec, 5e6, 1.05e9);
+    EXPECT_TRUE(a != b);
+}
+
+TEST(Traffic, ArrivalsSortedAndInHorizon)
+{
+    for (auto shape : {TrafficShape::Poisson, TrafficShape::Bursty,
+                       TrafficShape::Diurnal}) {
+        TrafficSpec spec;
+        spec.shape = shape;
+        spec.ratePerSec = 50000.0;
+        const Cycles horizon = 2e6;
+        const auto arr = generateArrivals(spec, horizon, 1.05e9);
+        EXPECT_TRUE(std::is_sorted(arr.begin(), arr.end()));
+        for (Cycles t : arr) {
+            EXPECT_GE(t, 0.0);
+            EXPECT_LT(t, horizon);
+        }
+    }
+}
+
+TEST(Traffic, MeanRateIsPreserved)
+{
+    // Every shape advertises ratePerSec as its long-run mean; check
+    // within +/- 20% over a long window.
+    const double freq = 1.05e9;
+    const double rate = 100000.0;
+    const Cycles horizon = 0.02 * freq; // 20 ms -> ~2000 arrivals
+    for (auto shape : {TrafficShape::Poisson, TrafficShape::Bursty,
+                       TrafficShape::Diurnal}) {
+        TrafficSpec spec;
+        spec.shape = shape;
+        spec.ratePerSec = rate;
+        spec.seed = 11;
+        // Many burst cycles / whole diurnal periods must fit in the
+        // window or the long-run mean cannot show.
+        spec.burstDwellSec = 2e-4;
+        spec.diurnalPeriodSec = 5e-3;
+        const auto arr = generateArrivals(spec, horizon, freq);
+        const double expected = rate * horizon / freq;
+        EXPECT_GT(arr.size(), 0.8 * expected)
+            << trafficShapeName(shape);
+        EXPECT_LT(arr.size(), 1.2 * expected)
+            << trafficShapeName(shape);
+    }
+}
+
+TEST(Traffic, BurstyIsOverdispersed)
+{
+    // The MMPP's index of dispersion (variance/mean of per-window
+    // counts) must sit clearly above the Poisson baseline of 1.
+    const double freq = 1.05e9;
+    auto dispersion = [&](TrafficShape shape) {
+        TrafficSpec spec;
+        spec.shape = shape;
+        spec.ratePerSec = 200000.0;
+        spec.seed = 3;
+        const Cycles horizon = 0.02 * freq;
+        const auto arr = generateArrivals(spec, horizon, freq);
+        const int bins = 200;
+        std::vector<double> counts(bins, 0.0);
+        for (Cycles t : arr)
+            counts[std::min<int>(bins - 1,
+                                 static_cast<int>(t / horizon *
+                                                  bins))] += 1.0;
+        double mean = 0.0;
+        for (double c : counts)
+            mean += c;
+        mean /= bins;
+        double var = 0.0;
+        for (double c : counts)
+            var += (c - mean) * (c - mean);
+        var /= bins;
+        return var / mean;
+    };
+    EXPECT_LT(dispersion(TrafficShape::Poisson), 2.0);
+    EXPECT_GT(dispersion(TrafficShape::Bursty), 2.5);
+}
+
+TEST(Traffic, DiurnalPeakBeatsTrough)
+{
+    // Phase 0: the sinusoid is above the mean over the first half of
+    // each period and below it over the second half.
+    const double freq = 1.05e9;
+    TrafficSpec spec;
+    spec.shape = TrafficShape::Diurnal;
+    spec.ratePerSec = 200000.0;
+    spec.diurnalDepth = 0.9;
+    spec.diurnalPeriodSec = 0.02;
+    const Cycles period = spec.diurnalPeriodSec * freq;
+    const auto arr = generateArrivals(spec, period, freq);
+    std::uint64_t first_half = 0, second_half = 0;
+    for (Cycles t : arr)
+        (t < period / 2 ? first_half : second_half) += 1;
+    EXPECT_GT(first_half, 1.5 * second_half);
+}
+
+TEST(Traffic, TraceReplaysVerbatim)
+{
+    TrafficSpec spec;
+    spec.shape = TrafficShape::Trace;
+    spec.trace = {5.0, 1.0, 3.0, 1e12, -2.0};
+    const auto arr = generateArrivals(spec, 10.0, 1.05e9);
+    ASSERT_EQ(arr.size(), 3u); // out-of-horizon and negative dropped
+    EXPECT_DOUBLE_EQ(arr[0], 1.0);
+    EXPECT_DOUBLE_EQ(arr[1], 3.0);
+    EXPECT_DOUBLE_EQ(arr[2], 5.0);
+}
+
+TEST(Traffic, NamesRoundTrip)
+{
+    for (auto shape : {TrafficShape::Poisson, TrafficShape::Bursty,
+                       TrafficShape::Diurnal, TrafficShape::Trace})
+        EXPECT_EQ(trafficShapeFromName(trafficShapeName(shape)),
+                  shape);
+    EXPECT_THROW(trafficShapeFromName("square-wave"), FatalError);
+}
+
+// ----------------------------------------------------- placement
+
+PlacementRequest
+req(unsigned mes, unsigned ves, Bytes hbm = 1_GiB, double load = 0.1)
+{
+    PlacementRequest r;
+    r.nMes = mes;
+    r.nVes = ves;
+    r.hbmBytes = hbm;
+    r.load = load;
+    return r;
+}
+
+TEST(Placement, FirstFitPacksInIndexOrder)
+{
+    FleetPlacer placer(4, NpuCoreConfig{});
+    EXPECT_EQ(placer.place(req(2, 2), PlacementPolicy::FirstFit), 0u);
+    EXPECT_EQ(placer.place(req(2, 2), PlacementPolicy::FirstFit), 0u);
+    EXPECT_EQ(placer.place(req(2, 2), PlacementPolicy::FirstFit), 1u);
+}
+
+TEST(Placement, LoadBalancedSpreads)
+{
+    FleetPlacer placer(4, NpuCoreConfig{});
+    EXPECT_EQ(placer.place(req(1, 1), PlacementPolicy::LoadBalanced),
+              0u);
+    EXPECT_EQ(placer.place(req(1, 1), PlacementPolicy::LoadBalanced),
+              1u);
+    EXPECT_EQ(placer.place(req(1, 1), PlacementPolicy::LoadBalanced),
+              2u);
+    EXPECT_EQ(placer.place(req(1, 1), PlacementPolicy::LoadBalanced),
+              3u);
+    // All equally loaded again: wraps back to the emptiest.
+    EXPECT_EQ(placer.place(req(1, 1), PlacementPolicy::LoadBalanced),
+              0u);
+}
+
+TEST(Placement, BestFitPrefersTightestCore)
+{
+    FleetPlacer placer(3, NpuCoreConfig{});
+    // Pre-load core 1 so it has the least EU headroom.
+    ASSERT_EQ(placer.place(req(2, 2), PlacementPolicy::FirstFit), 0u);
+    ASSERT_EQ(placer.place(req(3, 3), PlacementPolicy::LoadBalanced),
+              1u);
+    // Best fit tucks a 1+1 vNPU into core 1's 2-EU hole, not the
+    // half-empty core 0 or the empty core 2.
+    EXPECT_EQ(placer.place(req(1, 1), PlacementPolicy::BestFit), 1u);
+}
+
+TEST(Placement, EngineCapacityRespected)
+{
+    setLogLevel(LogLevel::Silent);
+    FleetPlacer placer(2, NpuCoreConfig{});
+    for (auto policy :
+         {PlacementPolicy::FirstFit, PlacementPolicy::BestFit,
+          PlacementPolicy::LoadBalanced}) {
+        // 4ME/4VE per core: two 2+2 vNPUs fill one core.
+        FleetPlacer p(2, NpuCoreConfig{});
+        EXPECT_NE(p.place(req(2, 2), policy), kInvalidCore);
+        EXPECT_NE(p.place(req(2, 2), policy), kInvalidCore);
+        EXPECT_NE(p.place(req(2, 2), policy), kInvalidCore);
+        EXPECT_NE(p.place(req(2, 2), policy), kInvalidCore);
+        // Fleet is full now.
+        EXPECT_EQ(p.place(req(1, 1), policy), kInvalidCore);
+    }
+    // A request larger than any single core never fits.
+    EXPECT_EQ(placer.place(req(5, 1), PlacementPolicy::FirstFit),
+              kInvalidCore);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Placement, HbmCapacityRespected)
+{
+    NpuCoreConfig core; // 64 GiB HBM
+    FleetPlacer placer(2, core);
+    EXPECT_EQ(placer.place(req(1, 1, 40_GiB),
+                           PlacementPolicy::FirstFit), 0u);
+    // 40 GiB more does not fit core 0's remaining 24 GiB.
+    EXPECT_EQ(placer.place(req(1, 1, 40_GiB),
+                           PlacementPolicy::FirstFit), 1u);
+    EXPECT_EQ(placer.place(req(1, 1, 40_GiB),
+                           PlacementPolicy::FirstFit), kInvalidCore);
+}
+
+TEST(Placement, NamesRoundTrip)
+{
+    for (auto p : {PlacementPolicy::FirstFit, PlacementPolicy::BestFit,
+                   PlacementPolicy::LoadBalanced})
+        EXPECT_EQ(placementFromName(placementName(p)), p);
+    EXPECT_THROW(placementFromName("worst-fit"), FatalError);
+}
+
+// ---------------------------------------------- open-loop serving
+
+/** Open-loop single-tenant config calibrated against the allocator's
+ * service-time estimate: rho = offered load / capacity. */
+ServingConfig
+openLoopConfig(double rho, unsigned depth, Cycles horizon = 3e7)
+{
+    const VnpuSizing sizing =
+        sizeVnpuForModel(ModelId::Mnist, 8, 4, NpuCoreConfig{});
+    const Cycles service = sizing.serviceEstimate();
+
+    TrafficSpec traffic;
+    traffic.ratePerSec = rho * 1.05e9 / service;
+    traffic.seed = 5;
+
+    ServingConfig cfg;
+    cfg.mode = ServingMode::OpenLoop;
+    cfg.policy = PolicyKind::Neu10;
+    TenantSpec ts;
+    ts.model = ModelId::Mnist;
+    ts.batch = 8;
+    ts.nMes = sizing.config.numMesPerCore;
+    ts.nVes = sizing.config.numVesPerCore;
+    ts.arrivals = generateArrivals(traffic, horizon, 1.05e9);
+    ts.maxQueueDepth = depth;
+    ts.sloCycles = 10.0 * service;
+    cfg.tenants = {ts};
+    cfg.maxCycles = 2e9;
+    return cfg;
+}
+
+TEST(OpenLoop, LightLoadAdmitsEverything)
+{
+    const auto cfg = openLoopConfig(/*rho=*/0.3, /*depth=*/64);
+    const auto r = runServing(cfg);
+    const auto &t = r.tenants[0];
+    EXPECT_EQ(t.submitted, cfg.tenants[0].arrivals.size());
+    EXPECT_EQ(t.rejected, 0u);
+    EXPECT_EQ(t.completed, t.submitted);
+    EXPECT_GT(t.completed, 20u);
+    // Light load: latencies comfortably inside the 10x-service SLO.
+    EXPECT_EQ(t.sloMet, t.completed);
+    EXPECT_GT(t.goodput, 0.0);
+    EXPECT_LE(t.p50(), t.p95());
+    EXPECT_LE(t.p95(), t.p99());
+}
+
+TEST(OpenLoop, SaturationRejectsBeyondQueueDepth)
+{
+    setLogLevel(LogLevel::Silent);
+    // 3x overload with a shallow queue: admission control must shed.
+    const auto cfg = openLoopConfig(/*rho=*/3.0, /*depth=*/4);
+    const auto r = runServing(cfg);
+    const auto &t = r.tenants[0];
+    EXPECT_EQ(t.submitted, cfg.tenants[0].arrivals.size());
+    EXPECT_GT(t.rejected, 0u);
+    // Everything admitted eventually drains.
+    EXPECT_EQ(t.completed + t.rejected, t.submitted);
+    // Rejections should be roughly the overload excess (~2/3), not a
+    // trickle and not everything.
+    const double frac = static_cast<double>(t.rejected) /
+                        static_cast<double>(t.submitted);
+    EXPECT_GT(frac, 0.3);
+    EXPECT_LT(frac, 0.9);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(OpenLoop, DeeperQueueTradesRejectionsForLatency)
+{
+    setLogLevel(LogLevel::Silent);
+    const auto shallow =
+        runServing(openLoopConfig(/*rho=*/2.0, /*depth=*/2));
+    const auto deep =
+        runServing(openLoopConfig(/*rho=*/2.0, /*depth=*/32));
+    EXPECT_GT(shallow.tenants[0].rejected,
+              deep.tenants[0].rejected);
+    EXPECT_GT(deep.tenants[0].p95(), shallow.tenants[0].p95());
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(OpenLoop, DeterministicAcrossRuns)
+{
+    const auto cfg = openLoopConfig(/*rho=*/0.8, /*depth=*/16);
+    const auto a = runServing(cfg);
+    const auto b = runServing(cfg);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.tenants[0].completed, b.tenants[0].completed);
+    EXPECT_EQ(a.tenants[0].rejected, b.tenants[0].rejected);
+    EXPECT_EQ(a.tenants[0].p99(), b.tenants[0].p99());
+}
+
+// --------------------------------------------------------- fleet
+
+FleetConfig
+smallFleet(PlacementPolicy placement, unsigned tenants = 8,
+           TrafficShape shape = TrafficShape::Poisson)
+{
+    FleetConfig cfg;
+    cfg.numBoards = 2;          // 2 boards x 4 cores = 8 cores
+    cfg.placement = placement;
+    cfg.horizon = 2e7;
+    cfg.maxCycles = 2e9;
+
+    const ModelId models[] = {ModelId::Mnist, ModelId::Ncf};
+    for (unsigned i = 0; i < tenants; ++i) {
+        ClusterTenantSpec t;
+        t.model = models[i % 2];
+        t.batch = 8;
+        t.eus = 4;
+        t.traffic.shape = shape;
+        t.traffic.ratePerSec = 4000.0;
+        t.traffic.seed = 100 + i;
+        t.sloCycles = 2e6;
+        t.maxQueueDepth = 16;
+        cfg.tenants.push_back(t);
+    }
+    return cfg;
+}
+
+TEST(Fleet, EndToEndServesAndAccounts)
+{
+    const auto r = runFleet(smallFleet(PlacementPolicy::LoadBalanced));
+    EXPECT_EQ(r.unplacedTenants, 0u);
+    EXPECT_GT(r.submitted, 0u);
+    EXPECT_GT(r.completed, 0u);
+    EXPECT_EQ(r.completed + r.rejected, r.submitted);
+    EXPECT_GT(r.goodput, 0.0);
+    EXPECT_LE(r.p50(), r.p95());
+    EXPECT_LE(r.p95(), r.p99());
+    EXPECT_EQ(r.latencyCycles.count(), r.completed);
+    EXPECT_EQ(r.cores.size(), 8u);
+    EXPECT_EQ(r.coreMeUtil.count(), 8u);
+
+    // Per-core completion counts add up to the fleet total.
+    std::uint64_t core_sum = 0;
+    for (const auto &c : r.cores)
+        core_sum += c.completed;
+    EXPECT_EQ(core_sum, r.completed);
+}
+
+TEST(Fleet, DeterministicAcrossRuns)
+{
+    const auto cfg = smallFleet(PlacementPolicy::BestFit);
+    const auto a = runFleet(cfg);
+    const auto b = runFleet(cfg);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.p99(), b.p99());
+    for (size_t i = 0; i < a.placements.size(); ++i)
+        EXPECT_EQ(a.placements[i].core, b.placements[i].core);
+}
+
+TEST(Fleet, PlacementRespectsCoreCapacity)
+{
+    for (auto policy :
+         {PlacementPolicy::FirstFit, PlacementPolicy::BestFit,
+          PlacementPolicy::LoadBalanced}) {
+        const auto cfg = smallFleet(policy, /*tenants=*/12);
+        const auto r = runFleet(cfg);
+        const NpuCoreConfig core;
+        std::vector<unsigned> mes(cfg.totalCores(), 0);
+        std::vector<unsigned> ves(cfg.totalCores(), 0);
+        std::vector<Bytes> hbm(cfg.totalCores(), 0);
+        for (const auto &pl : r.placements) {
+            if (!pl.placed())
+                continue;
+            ASSERT_LT(pl.core, cfg.totalCores());
+            EXPECT_GE(pl.nMes, 1u);
+            EXPECT_GE(pl.nVes, 1u);
+            mes[pl.core] += pl.nMes;
+            ves[pl.core] += pl.nVes;
+            hbm[pl.core] += pl.hbmBytes;
+        }
+        for (CoreId c = 0; c < cfg.totalCores(); ++c) {
+            EXPECT_LE(mes[c], core.numMes) << placementName(policy);
+            EXPECT_LE(ves[c], core.numVes) << placementName(policy);
+            EXPECT_LE(hbm[c], core.hbmBytes) << placementName(policy);
+        }
+    }
+}
+
+TEST(Fleet, OversizedTenantIsRejectedWholesale)
+{
+    auto cfg = smallFleet(PlacementPolicy::FirstFit, /*tenants=*/2);
+    cfg.tenants[1].eus = 12; // cannot fit a 4ME/4VE core
+    const auto r = runFleet(cfg);
+    EXPECT_EQ(r.unplacedTenants, 1u);
+    EXPECT_FALSE(r.placements[1].placed());
+    EXPECT_GT(r.tenants[1].submitted, 0u);
+    EXPECT_EQ(r.tenants[1].rejected, r.tenants[1].submitted);
+    EXPECT_EQ(r.tenants[1].completed, 0u);
+    // Tenant 0 is unaffected.
+    EXPECT_GT(r.tenants[0].completed, 0u);
+}
+
+TEST(Fleet, PoliciesProduceDifferentPackings)
+{
+    // 4 light tenants on 8 cores: first-fit doubles them up on the
+    // first cores, load-balanced spreads them out.
+    const auto ff =
+        runFleet(smallFleet(PlacementPolicy::FirstFit, 4));
+    const auto lb =
+        runFleet(smallFleet(PlacementPolicy::LoadBalanced, 4));
+    auto occupied = [](const FleetResult &r) {
+        unsigned n = 0;
+        for (const auto &c : r.cores)
+            n += c.tenants > 0;
+        return n;
+    };
+    EXPECT_LT(occupied(ff), occupied(lb));
+
+    // Imbalance shows in the per-core utilization spread.
+    EXPECT_GT(ff.coreMeUtil.stddev(), lb.coreMeUtil.stddev());
+}
+
+TEST(Fleet, BurstyTrafficHurtsTails)
+{
+    // Same mean rate, burstier stream: the fleet's p99 should be no
+    // better, and queue rejections should not decrease.
+    auto poisson_cfg =
+        smallFleet(PlacementPolicy::LoadBalanced, 8,
+                   TrafficShape::Poisson);
+    auto bursty_cfg =
+        smallFleet(PlacementPolicy::LoadBalanced, 8,
+                   TrafficShape::Bursty);
+    for (auto *cfg : {&poisson_cfg, &bursty_cfg})
+        for (auto &t : cfg->tenants) {
+            t.traffic.ratePerSec = 12000.0;
+            t.maxQueueDepth = 8;
+        }
+    const auto poisson = runFleet(poisson_cfg);
+    const auto bursty = runFleet(bursty_cfg);
+    EXPECT_GE(bursty.p99(), poisson.p99());
+}
+
+} // anonymous namespace
+} // namespace neu10

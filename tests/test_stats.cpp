@@ -95,6 +95,25 @@ TEST(Distribution, ResetClearsEverything)
     EXPECT_EQ(d.sum(), 0.0);
 }
 
+TEST(Distribution, MergeAbsorbsOtherSamples)
+{
+    Distribution a, b;
+    for (double v : {1.0, 3.0})
+        a.add(v);
+    for (double v : {2.0, 4.0, 6.0})
+        b.add(v);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 5u);
+    EXPECT_DOUBLE_EQ(a.sum(), 16.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 6.0);
+    EXPECT_DOUBLE_EQ(a.percentile(0.5), 3.0);
+    // The source is untouched; merging an empty set is a no-op.
+    EXPECT_EQ(b.count(), 3u);
+    a.merge(Distribution{});
+    EXPECT_EQ(a.count(), 5u);
+}
+
 TEST(TimeSeries, AverageOfPiecewiseConstant)
 {
     TimeSeries ts;

@@ -304,6 +304,60 @@ TEST(HypervisorTest, MmioWindowsAreDisjoint)
                 rb.base + rb.size <= ra.base);
 }
 
+TEST(HypervisorTest, ConcurrentMmioWindowsNeverOverlap)
+{
+    // Carve windows for as many concurrently live vNPUs as the board
+    // admits and check pairwise disjointness, including across an
+    // interleaved destroy/create that recycles windows.
+    Hypervisor hv(NpuBoardConfig{});
+    std::vector<VnpuId> live;
+    for (TenantId t = 1; t <= 8; ++t)
+        live.push_back(hv.hcCreateVnpu(t, smallVnpu(1, 1, 2_GiB)));
+    hv.hcDestroyVnpu(3, live[2]);
+    live[2] = hv.hcCreateVnpu(3, smallVnpu(1, 1, 2_GiB));
+
+    for (size_t i = 0; i < live.size(); ++i) {
+        for (size_t j = i + 1; j < live.size(); ++j) {
+            const MmioRegion a = hv.mmioRegion(live[i]);
+            const MmioRegion b = hv.mmioRegion(live[j]);
+            EXPECT_TRUE(a.base + a.size <= b.base ||
+                        b.base + b.size <= a.base)
+                << "windows " << i << " and " << j << " overlap";
+        }
+    }
+}
+
+TEST(HypervisorTest, MmioWindowReclaimedAndReused)
+{
+    Hypervisor hv(NpuBoardConfig{});
+    const VnpuId a = hv.hcCreateVnpu(1, smallVnpu());
+    const MmioRegion ra = hv.mmioRegion(a);
+    hv.hcDestroyVnpu(1, a);
+    // The destroyed vNPU's window is gone...
+    EXPECT_THROW(hv.mmioRegion(a), FatalError);
+    // ...and the next create gets the recycled aperture.
+    const VnpuId b = hv.hcCreateVnpu(2, smallVnpu());
+    EXPECT_EQ(hv.mmioRegion(b).base, ra.base);
+    EXPECT_EQ(hv.mmioRegion(b).size, ra.size);
+}
+
+TEST(HypervisorTest, MmioApertureBoundedUnderChurn)
+{
+    // A long create/destroy churn must not leak BAR space: with at
+    // most one live vNPU, every generation reuses one window.
+    Hypervisor hv(NpuBoardConfig{});
+    std::uint64_t first_base = 0;
+    for (int gen = 0; gen < 100; ++gen) {
+        const VnpuId id = hv.hcCreateVnpu(7, smallVnpu());
+        const MmioRegion r = hv.mmioRegion(id);
+        if (gen == 0)
+            first_base = r.base;
+        else
+            EXPECT_EQ(r.base, first_base) << "generation " << gen;
+        hv.hcDestroyVnpu(7, id);
+    }
+}
+
 TEST(HypervisorTest, CreateAttachesIommu)
 {
     Hypervisor hv(NpuBoardConfig{});
