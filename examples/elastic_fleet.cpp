@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Elastic scenario: a provider's capacity planner made a bad bet.
+ * Eight small OCR tenants were first-fit-packed onto the first two
+ * cores of an 8-core fleet; their traffic turns out bursty and ~20%
+ * above each vNPU's solo capacity, so the two hot cores drown in
+ * backlog while six cores idle. The elastic engine notices at the
+ * first epoch boundary: it migrates vNPUs to the idle cores through
+ * the hypervisor's destroy/create hypercalls (each move pays a
+ * migration stall), re-runs the §III-B split against the destination
+ * residency so the migrants grow into the idle EUs, and the serving
+ * loop resumes with the carried backlogs. The printout follows the
+ * rebalancer epoch by epoch and compares the final SLO report with
+ * the static run.
+ *
+ * Run: ./build/examples/elastic_fleet
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cluster/fleet.hh"
+#include "sim/clock.hh"
+#include "vnpu/allocator.hh"
+
+using namespace neu10;
+
+namespace
+{
+
+FleetConfig
+scenario(unsigned epochs, Cycles horizon)
+{
+    FleetConfig cfg;
+    cfg.numBoards = 2; // x 4 cores
+    cfg.placement = PlacementPolicy::FirstFit;
+    cfg.horizon = horizon;
+    cfg.maxCycles = 50.0 * horizon;
+    cfg.elastic.epochs = epochs;
+    cfg.elastic.imbalanceThreshold = 0.05;
+
+    const VnpuSizing sizing =
+        sizeVnpuForModel(ModelId::Mnist, 32, 2, cfg.board.core);
+    for (unsigned i = 0; i < 8; ++i) {
+        ClusterTenantSpec t;
+        t.model = ModelId::Mnist;
+        t.batch = 32;
+        t.eus = 2;
+        t.traffic.shape = TrafficShape::Bursty;
+        // 1.2x each vNPU's solo service rate: persistently overloaded
+        // until the fleet grants more engines.
+        t.traffic.ratePerSec = 1.2 * cfg.board.core.freqHz /
+                               sizing.serviceEstimate();
+        t.traffic.seed = 42 + i;
+        t.sloCycles = 5.0 * sizing.serviceEstimate();
+        t.maxQueueDepth = 32;
+        cfg.tenants.push_back(t);
+    }
+    return cfg;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    const Clock clock;
+    const bool smoke = []() {
+        const char *v = std::getenv("NEU10_SMOKE");
+        return v != nullptr && v[0] != '\0' &&
+               !(v[0] == '0' && v[1] == '\0');
+    }();
+    const Cycles horizon = smoke ? 6e6 : 3e7;
+
+    const FleetResult stat = runFleet(scenario(1, horizon));
+    const FleetResult elas = runFleet(scenario(8, horizon));
+
+    std::printf("Elastic fleet: 8 overloaded 2-EU tenants, first-fit "
+                "onto 2 of 8 cores, bursty traffic\n\n");
+
+    std::printf("The rebalancer, epoch by epoch:\n");
+    for (const FleetEpochReport &er : elas.epochReports)
+        std::printf("  epoch %u: %4llu served, %3llu carried over, "
+                    "%u migrations, imbalance %.2f\n",
+                    er.epoch,
+                    static_cast<unsigned long long>(er.completed),
+                    static_cast<unsigned long long>(er.backlog),
+                    er.migrations, er.pressureStddev);
+
+    std::printf("\nWhere everyone ended up (vs. cores 0-1 at the "
+                "start):\n");
+    for (size_t i = 0; i < elas.placements.size(); ++i) {
+        const TenantPlacement &pl = elas.placements[i];
+        std::printf("  tenant %zu: core %u, %uM%uV%s\n", i, pl.core,
+                    pl.nMes, pl.nVes,
+                    pl.migrations > 0 ? "  (migrated, grew into "
+                                        "idle EUs)"
+                                      : "");
+    }
+
+    auto report = [&](const char *name, const FleetResult &r) {
+        std::printf("  %-8s %5llu served  %5.1f%% rejected  goodput "
+                    "%6.0f req/s  p99 %.3f ms\n",
+                    name,
+                    static_cast<unsigned long long>(r.completed),
+                    100.0 * r.rejectionRate(), r.goodput,
+                    clock.toSeconds(r.p99()) * 1e3);
+    };
+    std::printf("\nFinal score:\n");
+    report("static", stat);
+    report("elastic", elas);
+
+    std::printf("\nReading: the static fleet keeps shedding load on "
+                "two saturated cores all run long. The elastic "
+                "engine pays %u migration stalls once, spreads the "
+                "vNPUs across the idle cores, and the re-run "
+                "allocator split grows each migrant's engine grant — "
+                "so the same hardware serves more requests at a "
+                "fraction of the tail latency.\n",
+                elas.migrations);
+    return 0;
+}

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/threadpool.hh"
 #include "sim/clock.hh"
+#include "virt/hypervisor.hh"
 #include "vnpu/allocator.hh"
 
 namespace neu10
@@ -14,23 +16,29 @@ runFleet(const FleetConfig &config)
 {
     NEU10_ASSERT(!config.tenants.empty(), "fleet needs tenants");
     NEU10_ASSERT(config.totalCores() > 0, "fleet needs cores");
+    NEU10_ASSERT(config.elastic.epochs >= 1,
+                 "fleet needs at least one epoch");
 
     const NpuCoreConfig &core_cfg = config.board.core;
     const unsigned cores_per_board = config.board.totalCores();
+    const unsigned num_cores = config.totalCores();
+    const size_t num_tenants = config.tenants.size();
     const Clock clock(core_cfg.freqHz);
 
     FleetResult result;
     result.policy = policyName(config.corePolicy);
     result.placement = placementName(config.placement);
-    result.placements.resize(config.tenants.size());
-    result.tenants.resize(config.tenants.size());
+    result.placements.resize(num_tenants);
+    result.tenants.resize(num_tenants);
 
     // ---- size every vNPU and bin-pack the fleet -------------------
-    FleetPlacer placer(config.totalCores(), core_cfg);
-    for (size_t i = 0; i < config.tenants.size(); ++i) {
+    FleetPlacer placer(num_cores, core_cfg);
+    std::vector<VnpuSizing> sizings(num_tenants);
+    for (size_t i = 0; i < num_tenants; ++i) {
         const ClusterTenantSpec &spec = config.tenants[i];
-        const VnpuSizing sizing = sizeVnpuForModel(
-            spec.model, spec.batch, spec.eus, core_cfg);
+        sizings[i] = sizeVnpuForModel(spec.model, spec.batch,
+                                      spec.eus, core_cfg);
+        const VnpuSizing &sizing = sizings[i];
 
         TenantPlacement &pl = result.placements[i];
         pl.nMes = sizing.config.numMesPerCore;
@@ -46,23 +54,37 @@ runFleet(const FleetConfig &config)
         req.nMes = pl.nMes;
         req.nVes = pl.nVes;
         req.hbmBytes = pl.hbmBytes;
+        req.sramBytes = sizing.config.sramSizePerCore;
         req.load = pl.load;
         pl.core = placer.place(req, config.placement);
         if (!pl.placed())
             ++result.unplacedTenants;
     }
 
-    // ---- generate traffic and run every occupied core -------------
-    std::vector<std::vector<size_t>> residents(config.totalCores());
-    std::vector<std::vector<Cycles>> arrivals(config.tenants.size());
-    for (size_t i = 0; i < config.tenants.size(); ++i) {
-        const TenantPlacement &pl = result.placements[i];
+    // ---- install every placed vNPU through the hypervisor ---------
+    // One hypervisor spans the fleet (to it, the boards are one big
+    // inventory with the same core ordering as the placer). Later
+    // migrations travel its destroy/create hypercalls, so long-lived
+    // elastic runs churn — and recycle — the MMIO aperture exactly
+    // as a production host would.
+    NpuBoardConfig fleet_board = config.board;
+    fleet_board.numChips = config.numBoards * config.board.numChips;
+    Hypervisor hv(fleet_board);
+    std::vector<VnpuId> vnpu_ids(num_tenants, kInvalidVnpu);
+    for (size_t i = 0; i < num_tenants; ++i) {
+        if (result.placements[i].placed())
+            vnpu_ids[i] = hv.hcCreateVnpu(
+                static_cast<TenantId>(i), sizings[i].config,
+                IsolationMode::Hardware, result.placements[i].core);
+    }
+
+    // ---- generate traffic (seeded, epoch-independent) -------------
+    std::vector<std::vector<Cycles>> arrivals(num_tenants);
+    for (size_t i = 0; i < num_tenants; ++i) {
         arrivals[i] = generateArrivals(config.tenants[i].traffic,
                                        config.horizon,
                                        core_cfg.freqHz);
-        if (pl.placed()) {
-            residents[pl.core].push_back(i);
-        } else {
+        if (!result.placements[i].placed()) {
             // The fleet turned the tenant away: every request of its
             // stream counts as submitted and rejected.
             TenantResult &tr = result.tenants[i];
@@ -72,83 +94,286 @@ runFleet(const FleetConfig &config)
         }
     }
 
-    result.cores.resize(config.totalCores());
-    std::vector<ServingResult> core_runs(config.totalCores());
-    for (CoreId c = 0; c < config.totalCores(); ++c) {
+    // ---- epoch loop: simulate, observe, rebalance, resume ---------
+    const unsigned epochs = config.elastic.epochs;
+    const Cycles window = config.horizon / epochs;
+    ThreadPool pool(config.threads);
+
+    // Compile every placed tenant's binary exactly once; epochs and
+    // host threads share the read-only programs (NeuISA binaries are
+    // compiled against the physical core shape, so resized engine
+    // grants execute the same code, §III-D).
+    std::vector<CompiledModel> programs(num_tenants);
+    pool.parallelFor(num_tenants, [&](size_t i) {
+        if (!result.placements[i].placed())
+            return;
+        TenantSpec ts;
+        ts.model = config.tenants[i].model;
+        ts.batch = config.tenants[i].batch;
+        programs[i] = compileFor(ts, config.corePolicy, core_cfg);
+    });
+
+    std::vector<std::vector<Cycles>> carried(num_tenants);
+    std::vector<bool> migrated(num_tenants, false);
+    std::vector<size_t> next_arrival(num_tenants, 0);
+    std::vector<double> blocked_cycles(num_tenants, 0.0);
+    std::vector<double> me_busy(num_cores, 0.0);
+    std::vector<double> ve_busy(num_cores, 0.0);
+    std::vector<Cycles> core_live(num_cores, 0.0);
+    std::vector<std::uint64_t> core_completed(num_cores, 0);
+
+    for (unsigned e = 0; e < epochs; ++e) {
+        const Cycles start = e * window;
+        const bool last = (e + 1 == epochs);
+
+        std::vector<std::vector<size_t>> residents(num_cores);
+        for (size_t i = 0; i < num_tenants; ++i)
+            if (result.placements[i].placed())
+                residents[result.placements[i].core].push_back(i);
+
+        std::vector<CoreId> occupied;
+        for (CoreId c = 0; c < num_cores; ++c)
+            if (!residents[c].empty())
+                occupied.push_back(c);
+
+        std::vector<ServingConfig> runs(occupied.size());
+        for (size_t k = 0; k < occupied.size(); ++k) {
+            ServingConfig &sc = runs[k];
+            sc.core = core_cfg;
+            sc.policy = config.corePolicy;
+            sc.mode = ServingMode::OpenLoop;
+            sc.maxCycles = config.maxCycles;
+            sc.stopAtCycles = last ? kCyclesInf : window;
+            for (size_t i : residents[occupied[k]]) {
+                const ClusterTenantSpec &spec = config.tenants[i];
+                const TenantPlacement &pl = result.placements[i];
+                TenantSpec ts;
+                ts.model = spec.model;
+                ts.batch = spec.batch;
+                ts.nMes = pl.nMes;
+                ts.nVes = pl.nVes;
+                ts.priority = spec.priority;
+                ts.maxQueueDepth = spec.maxQueueDepth;
+                ts.sloCycles = spec.sloCycles;
+                ts.program = &programs[i];
+                // Carried backlog resumes here; a freshly migrated
+                // vNPU additionally stalls for the migration cost.
+                ts.backlog = std::move(carried[i]);
+                carried[i].clear();
+                ts.startOffsetCycles =
+                    migrated[i] ? config.elastic.migrationCostCycles
+                                : 0.0;
+                migrated[i] = false;
+                const Cycles stop =
+                    last ? kCyclesInf : start + window;
+                while (next_arrival[i] < arrivals[i].size() &&
+                       arrivals[i][next_arrival[i]] < stop) {
+                    ts.arrivals.push_back(
+                        arrivals[i][next_arrival[i]] - start);
+                    ++next_arrival[i];
+                }
+                sc.tenants.push_back(std::move(ts));
+            }
+        }
+
+        // Per-core simulations are independent; each worker writes
+        // only its own slot and aggregation below walks cores in
+        // index order, so any thread count gives identical results.
+        std::vector<ServingResult> done(occupied.size());
+        pool.parallelFor(occupied.size(), [&](size_t k) {
+            done[k] = runServing(runs[k]);
+        });
+
+        // ---- aggregate the epoch (serial, core-index order) -------
+        FleetEpochReport er;
+        er.epoch = e;
+        std::vector<double> pressure(num_cores, 0.0);
+        std::vector<double> tenant_pressure(num_tenants, 0.0);
+        for (size_t k = 0; k < occupied.size(); ++k) {
+            const CoreId c = occupied[k];
+            const ServingResult &r = done[k];
+            const Cycles measured = std::max(1.0, r.makespan);
+            me_busy[c] += r.meUsefulUtil * measured;
+            ve_busy[c] += r.veUtil * measured;
+            core_live[c] += last ? r.makespan : window;
+            for (size_t t = 0; t < residents[c].size(); ++t) {
+                const size_t i = residents[c][t];
+                const TenantResult &tr = r.tenants[t];
+                TenantResult &acc = result.tenants[i];
+                acc.model = tr.model;
+                acc.submitted += tr.submitted;
+                acc.rejected += tr.rejected;
+                acc.completed += tr.completed;
+                acc.sloMet += tr.sloMet;
+                acc.reclaims += tr.reclaims;
+                acc.latencyCycles.merge(tr.latencyCycles);
+                blocked_cycles[i] += tr.blockedFrac * measured;
+                core_completed[c] += tr.completed;
+                er.completed += tr.completed;
+                er.backlog += tr.backlog.size();
+                // Carry admitted-but-unserved work into the next
+                // epoch, restamped relative to its start.
+                for (Cycles stamp : tr.backlog)
+                    carried[i].push_back(stamp - window);
+                // The pressure this tenant demonstrably exerted:
+                // work it got through *plus* work it left queued,
+                // in busy EU-cycles per cycle of the epoch.
+                tenant_pressure[i] =
+                    (tr.completed + tr.backlog.size()) *
+                    (sizings[i].profile.meBusy +
+                     sizings[i].profile.veBusy) /
+                    window;
+                pressure[c] += tenant_pressure[i];
+            }
+        }
+        {
+            Distribution pdist;
+            for (CoreId c = 0; c < num_cores; ++c)
+                pdist.add(pressure[c]);
+            er.pressureStddev = pdist.stddev();
+        }
+
+        // ---- elastic rebalance at the epoch boundary --------------
+        if (!last && epochs > 1) {
+            std::vector<CoreId> where(num_tenants, kInvalidCore);
+            std::vector<PlacementRequest> demands(num_tenants);
+            for (size_t i = 0; i < num_tenants; ++i) {
+                const TenantPlacement &pl = result.placements[i];
+                where[i] = pl.core;
+                demands[i].nMes = pl.nMes;
+                demands[i].nVes = pl.nVes;
+                demands[i].hbmBytes = pl.hbmBytes;
+                demands[i].sramBytes =
+                    sizings[i].config.sramSizePerCore;
+                demands[i].load = tenant_pressure[i];
+            }
+            RebalanceOptions opts;
+            opts.imbalanceThreshold =
+                config.elastic.imbalanceThreshold;
+            opts.maxMigrations = config.elastic.maxMigrationsPerEpoch;
+            const std::vector<Migration> moves =
+                placer.rebalance(pressure, where, demands, opts);
+
+            for (const Migration &mv : moves) {
+                TenantPlacement &pl = result.placements[mv.tenant];
+                if (config.elastic.resizeOnMigrate) {
+                    // Re-run the §III-B split against the
+                    // destination's residency: free engines there
+                    // once this vNPU's committed share is set aside.
+                    // The grant may grow into idle EUs (growFactor);
+                    // when the grown or re-split request no longer
+                    // fits (engines or SRAM), fall back to the paid
+                    // budget and finally to the original split that
+                    // rebalance() already proved feasible.
+                    const PlacementRequest cur = demands[mv.tenant];
+                    placer.release(mv.to, cur);
+                    const CoreCapacity &cap = placer.cores()[mv.to];
+                    const unsigned paid =
+                        config.tenants[mv.tenant].eus;
+                    const unsigned grown = std::max(
+                        paid,
+                        std::min(cap.freeEus(),
+                                 static_cast<unsigned>(
+                                     paid *
+                                     config.elastic.growFactor)));
+                    bool committed = false;
+                    for (unsigned budget : {grown, paid}) {
+                        VnpuSizing updated = sizings[mv.tenant];
+                        if (!resplitForResidency(updated, budget,
+                                                 cap.freeMes,
+                                                 cap.freeVes,
+                                                 core_cfg))
+                            continue;
+                        PlacementRequest resized = cur;
+                        resized.nMes = updated.config.numMesPerCore;
+                        resized.nVes = updated.config.numVesPerCore;
+                        resized.sramBytes =
+                            updated.config.sramSizePerCore;
+                        if (placer.commit(mv.to, resized)) {
+                            sizings[mv.tenant] = updated;
+                            pl.nMes = resized.nMes;
+                            pl.nVes = resized.nVes;
+                            committed = true;
+                            break;
+                        }
+                    }
+                    if (!committed) {
+                        const bool ok = placer.commit(mv.to, cur);
+                        NEU10_ASSERT(ok, "migrated vNPU no longer "
+                                         "fits its destination core");
+                    }
+                }
+                // The move itself is hypercall traffic: destroy
+                // frees the MMIO window and IOMMU attachment, the
+                // pinned create on the destination reuses them.
+                hv.hcDestroyVnpu(static_cast<TenantId>(mv.tenant),
+                                 vnpu_ids[mv.tenant]);
+                vnpu_ids[mv.tenant] = hv.hcCreateVnpu(
+                    static_cast<TenantId>(mv.tenant),
+                    sizings[mv.tenant].config,
+                    IsolationMode::Hardware, mv.to);
+                pl.core = mv.to;
+                ++pl.migrations;
+                migrated[mv.tenant] = true;
+            }
+            er.migrations = static_cast<unsigned>(moves.size());
+            result.migrations += static_cast<unsigned>(moves.size());
+        }
+        result.epochReports.push_back(er);
+    }
+
+    // ---- fleet-wide makespan and per-core reports -----------------
+    result.makespan = config.horizon;
+    for (CoreId c = 0; c < num_cores; ++c)
+        result.makespan = std::max(result.makespan, core_live[c]);
+
+    std::vector<unsigned> final_tenants(num_cores, 0);
+    for (size_t i = 0; i < num_tenants; ++i)
+        if (result.placements[i].placed())
+            ++final_tenants[result.placements[i].core];
+
+    result.cores.resize(num_cores);
+    for (CoreId c = 0; c < num_cores; ++c) {
         FleetCoreReport &rep = result.cores[c];
         rep.core = c;
         rep.board = c / cores_per_board;
-        rep.tenants = static_cast<unsigned>(residents[c].size());
-        if (residents[c].empty())
-            continue;
-
-        ServingConfig sc;
-        sc.core = core_cfg;
-        sc.policy = config.corePolicy;
-        sc.mode = ServingMode::OpenLoop;
-        sc.maxCycles = config.maxCycles;
-        for (size_t i : residents[c]) {
-            const ClusterTenantSpec &spec = config.tenants[i];
-            const TenantPlacement &pl = result.placements[i];
-            TenantSpec ts;
-            ts.model = spec.model;
-            ts.batch = spec.batch;
-            ts.nMes = pl.nMes;
-            ts.nVes = pl.nVes;
-            ts.priority = spec.priority;
-            ts.arrivals = std::move(arrivals[i]);
-            ts.maxQueueDepth = spec.maxQueueDepth;
-            ts.sloCycles = spec.sloCycles;
-            sc.tenants.push_back(std::move(ts));
-        }
-        core_runs[c] = runServing(sc);
-        rep.makespan = core_runs[c].makespan;
-        rep.completed = 0;
-        for (const auto &t : core_runs[c].tenants)
-            rep.completed += t.completed;
-        result.makespan = std::max(result.makespan, rep.makespan);
-    }
-    result.makespan = std::max(result.makespan, config.horizon);
-
-    // ---- aggregate fleet-wide SLO accounting ----------------------
-    for (CoreId c = 0; c < config.totalCores(); ++c) {
-        FleetCoreReport &rep = result.cores[c];
-        if (!residents[c].empty()) {
-            // Rescale per-core utilization onto the fleet makespan so
-            // a core that drained early is not flattered by its short
-            // measurement window.
-            const double scale = rep.makespan / result.makespan;
-            rep.meUsefulUtil = core_runs[c].meUsefulUtil * scale;
-            rep.veUtil = core_runs[c].veUtil * scale;
-            rep.euUtil = (rep.meUsefulUtil * core_cfg.numMes +
-                          rep.veUtil * core_cfg.numVes) /
-                         (core_cfg.numMes + core_cfg.numVes);
-            for (size_t k = 0; k < residents[c].size(); ++k) {
-                TenantResult &tr = result.tenants[residents[c][k]];
-                tr = std::move(core_runs[c].tenants[k]);
-                // Re-rate onto the fleet makespan: runServing divided
-                // by this core's own drain time, which would flatter
-                // tenants on early-draining cores (same rule as the
-                // utilization rescaling above).
-                const double secs =
-                    clock.toSeconds(std::max(1.0, result.makespan));
-                tr.throughput = tr.completed / secs;
-                tr.goodput = tr.sloMet / secs;
-            }
-        }
+        rep.tenants = final_tenants[c];
+        rep.completed = core_completed[c];
+        rep.makespan = core_live[c];
+        // Busy cycles over the fleet makespan, so cores that drained
+        // early (or stood empty for epochs) compare fairly.
+        rep.meUsefulUtil = me_busy[c] / result.makespan;
+        rep.veUtil = ve_busy[c] / result.makespan;
+        rep.euUtil = (rep.meUsefulUtil * core_cfg.numMes +
+                      rep.veUtil * core_cfg.numVes) /
+                     (core_cfg.numMes + core_cfg.numVes);
         result.coreMeUtil.add(rep.meUsefulUtil);
         result.coreEuUtil.add(rep.euUtil);
     }
 
-    for (const TenantResult &tr : result.tenants) {
+    // ---- fleet-wide SLO accounting --------------------------------
+    const double secs =
+        clock.toSeconds(std::max(1.0, result.makespan));
+    for (size_t i = 0; i < num_tenants; ++i) {
+        TenantResult &tr = result.tenants[i];
+        // Rates over the fleet makespan (not any one core's window),
+        // so tenants on early-draining cores are not flattered.
+        tr.throughput = tr.completed / secs;
+        tr.goodput = tr.sloMet / secs;
+        tr.blockedFrac =
+            blocked_cycles[i] / std::max(1.0, result.makespan);
         result.submitted += tr.submitted;
         result.completed += tr.completed;
         result.rejected += tr.rejected;
         result.sloMet += tr.sloMet;
         result.latencyCycles.merge(tr.latencyCycles);
     }
-    result.goodput =
-        result.sloMet / clock.toSeconds(std::max(1.0, result.makespan));
+    result.goodput = result.sloMet / secs;
+
+    // Tear every surviving vNPU down through the hypercall path.
+    for (size_t i = 0; i < num_tenants; ++i)
+        if (vnpu_ids[i] != kInvalidVnpu)
+            hv.hcDestroyVnpu(static_cast<TenantId>(i), vnpu_ids[i]);
     return result;
 }
 

@@ -17,7 +17,20 @@
  *
  * Cores are independent (no cross-core interference is modeled;
  * tenants here are single-core vNPUs), so the fleet decomposes into
- * per-core simulations that share nothing but the traffic clock.
+ * per-core simulations that share nothing but the traffic clock —
+ * and the engine exploits that on the host: per-core simulations run
+ * concurrently on a common/threadpool worker pool (FleetConfig::
+ * threads), with bit-identical results for any thread count.
+ *
+ * On top of the static capacity-planning mode, the engine is
+ * *elastic* (ElasticConfig): the run splits into epochs; at every
+ * epoch boundary a rebalancer inspects the utilization and queue
+ * backlog each core actually exhibited, migrates vNPUs from the
+ * hottest cores to the coldest (re-running the §III-B split against
+ * the destination's residency), charges each move a configurable
+ * migration cost through the hypervisor's destroy/create hypercalls
+ * (exercising MMIO-window recycling), and the open-loop serving
+ * resumes with carried-over backlogs.
  */
 
 #ifndef NEU10_CLUSTER_FLEET_HH
@@ -56,6 +69,39 @@ struct ClusterTenantSpec
     double priority = 1.0;
 };
 
+/** Epoch-based elastic-rebalancing knobs. */
+struct ElasticConfig
+{
+    /** Serving epochs the horizon splits into; 1 = static fleet
+     * (placement decided once, never revisited). */
+    unsigned epochs = 1;
+
+    /** Rebalance at an epoch boundary only while the hottest-to-
+     * coldest observed per-core pressure gap (EU-cycles/cycle)
+     * exceeds this. */
+    double imbalanceThreshold = 0.1;
+
+    /** Migration budget per epoch boundary. */
+    unsigned maxMigrationsPerEpoch = 4;
+
+    /** Cycles a migrated tenant stalls at the next epoch's start
+     * (context save, MMIO re-map, IOMMU re-attach): its carried
+     * backlog and early arrivals wait this long before submission,
+     * and the wait counts against its latency SLO. */
+    Cycles migrationCostCycles = 2e5;
+
+    /** Re-run the §III-B engine split against the destination core's
+     * free engines on every migration (resplitForResidency). */
+    bool resizeOnMigrate = true;
+
+    /** When resizing, let the migrated vNPU grow into the
+     * destination's idle EUs — which would otherwise be wasted — up
+     * to this factor times its paid budget (1.0 = never grow). The
+     * grant is transient: the next migration re-derives the split
+     * from the paid budget again. */
+    double growFactor = 2.0;
+};
+
 /** Fleet experiment configuration. */
 struct FleetConfig
 {
@@ -72,8 +118,16 @@ struct FleetConfig
     /** Traffic-generation window in cycles. */
     Cycles horizon = 5e7;
 
-    /** Per-core drain cap in cycles (guards saturated cores). */
+    /** Per-core drain cap in cycles (guards saturated cores); applies
+     * to the final (draining) epoch's event loop. */
     Cycles maxCycles = 2e9;
+
+    /** Host threads running per-core simulations concurrently:
+     * 1 = serial (no pool), 0 = one per hardware thread. Results are
+     * bit-identical for every value. */
+    unsigned threads = 1;
+
+    ElasticConfig elastic;
 
     /** Fleet-wide core count. */
     unsigned
@@ -83,7 +137,9 @@ struct FleetConfig
     }
 };
 
-/** Where one tenant's vNPU landed (parallel to config.tenants). */
+/** Where one tenant's vNPU landed (parallel to config.tenants).
+ * Under elastic rebalancing this is the *final* placement; the
+ * migration count records how often it moved. */
 struct TenantPlacement
 {
     CoreId core = kInvalidCore; ///< fleet-wide core index
@@ -91,12 +147,23 @@ struct TenantPlacement
     unsigned nVes = 0;
     Bytes hbmBytes = 0;         ///< segment-rounded HBM reservation
     double load = 0.0;          ///< offered EU-cycles/cycle estimate
+    unsigned migrations = 0;    ///< elastic moves this vNPU made
 
     bool
     placed() const
     {
         return core != kInvalidCore;
     }
+};
+
+/** One epoch of an elastic run (a single row when static). */
+struct FleetEpochReport
+{
+    unsigned epoch = 0;
+    std::uint64_t completed = 0;  ///< completions within the epoch
+    std::uint64_t backlog = 0;    ///< admitted-but-unserved, carried
+    unsigned migrations = 0;      ///< applied at this epoch's end
+    double pressureStddev = 0.0;  ///< cross-core observed imbalance
 };
 
 /** Post-run per-core report. */
@@ -144,6 +211,11 @@ struct FleetResult
     std::uint64_t sloMet = 0;
     unsigned unplacedTenants = 0;
 
+    /** Elastic accounting: total vNPU migrations applied and one
+     * report per epoch (a single entry when elastic.epochs == 1). */
+    unsigned migrations = 0;
+    std::vector<FleetEpochReport> epochReports;
+
     Cycles makespan = 0.0;      ///< slowest core's drain time
     double goodput = 0.0;       ///< SLO-met requests / second
 
@@ -165,8 +237,9 @@ struct FleetResult
 
 /**
  * Run one fleet experiment. Deterministic: identical configs yield
- * identical results (traffic is seeded, cores simulate in index
- * order).
+ * identical results — traffic is seeded, per-core simulations are
+ * independent, and aggregation happens in core-index order, so the
+ * outcome is bit-identical for every FleetConfig::threads value.
  */
 FleetResult runFleet(const FleetConfig &config);
 

@@ -39,6 +39,7 @@ FleetPlacer::FleetPlacer(unsigned num_cores, const NpuCoreConfig &core)
     cap.freeMes = core.numMes;
     cap.freeVes = core.numVes;
     cap.freeHbm = core.hbmBytes;
+    cap.freeSram = core.sramBytes;
     cores_.assign(num_cores, cap);
 }
 
@@ -46,7 +47,7 @@ bool
 FleetPlacer::fits(const CoreCapacity &c, const PlacementRequest &r) const
 {
     return c.freeMes >= r.nMes && c.freeVes >= r.nVes &&
-           c.freeHbm >= r.hbmBytes;
+           c.freeHbm >= r.hbmBytes && c.freeSram >= r.sramBytes;
 }
 
 CoreId
@@ -92,9 +93,112 @@ FleetPlacer::place(const PlacementRequest &request,
     c.freeMes -= request.nMes;
     c.freeVes -= request.nVes;
     c.freeHbm -= request.hbmBytes;
+    c.freeSram -= request.sramBytes;
     c.load += request.load;
     ++c.residents;
     return best;
+}
+
+bool
+FleetPlacer::canHost(CoreId core, const PlacementRequest &request) const
+{
+    NEU10_ASSERT(core < cores_.size(), "bad core id %u", core);
+    return fits(cores_[core], request);
+}
+
+bool
+FleetPlacer::commit(CoreId core, const PlacementRequest &request)
+{
+    NEU10_ASSERT(core < cores_.size(), "bad core id %u", core);
+    CoreCapacity &c = cores_[core];
+    if (!fits(c, request))
+        return false;
+    c.freeMes -= request.nMes;
+    c.freeVes -= request.nVes;
+    c.freeHbm -= request.hbmBytes;
+    c.freeSram -= request.sramBytes;
+    c.load += request.load;
+    ++c.residents;
+    return true;
+}
+
+void
+FleetPlacer::release(CoreId core, const PlacementRequest &request)
+{
+    NEU10_ASSERT(core < cores_.size(), "bad core id %u", core);
+    CoreCapacity &c = cores_[core];
+    NEU10_ASSERT(c.residents > 0, "core %u has no residents", core);
+    c.freeMes += request.nMes;
+    c.freeVes += request.nVes;
+    c.freeHbm += request.hbmBytes;
+    c.freeSram += request.sramBytes;
+    c.load -= request.load;
+    --c.residents;
+}
+
+std::vector<Migration>
+FleetPlacer::rebalance(std::vector<double> core_pressure,
+                       const std::vector<CoreId> &tenant_core,
+                       const std::vector<PlacementRequest> &demands,
+                       const RebalanceOptions &options)
+{
+    NEU10_ASSERT(core_pressure.size() == cores_.size(),
+                 "pressure vector must cover every core");
+    NEU10_ASSERT(tenant_core.size() == demands.size(),
+                 "one demand per tenant");
+
+    std::vector<CoreId> where = tenant_core;
+    std::vector<Migration> moves;
+    // Cores whose residents offered no viable move this pass: a core
+    // hosting one huge-backlog vNPU can be the hottest yet unfixable
+    // (moving its only tenant just relocates the hot spot), and must
+    // not stall rebalancing of the next-hottest cores behind it.
+    std::vector<bool> frozen(cores_.size(), false);
+    while (moves.size() < options.maxMigrations) {
+        // Hottest non-frozen and coldest cores; ties toward the
+        // lower index.
+        CoreId hot = kInvalidCore, cold = 0;
+        for (CoreId c = 0; c < core_pressure.size(); ++c) {
+            if (!frozen[c] &&
+                (hot == kInvalidCore ||
+                 core_pressure[c] > core_pressure[hot]))
+                hot = c;
+            if (core_pressure[c] < core_pressure[cold])
+                cold = c;
+        }
+        if (hot == kInvalidCore)
+            break;
+        const double gap = core_pressure[hot] - core_pressure[cold];
+        if (gap <= options.imbalanceThreshold)
+            break;
+
+        // Heaviest tenant on the hot core that (a) fits the cold
+        // core and (b) narrows the gap rather than inverting it.
+        size_t pick = demands.size();
+        for (size_t t = 0; t < demands.size(); ++t) {
+            if (where[t] != hot)
+                continue;
+            if (demands[t].load >= gap ||
+                !canHost(cold, demands[t]))
+                continue;
+            if (pick == demands.size() ||
+                demands[t].load > demands[pick].load)
+                pick = t;
+        }
+        if (pick == demands.size()) {
+            frozen[hot] = true;
+            continue;
+        }
+
+        release(hot, demands[pick]);
+        const bool ok = commit(cold, demands[pick]);
+        NEU10_ASSERT(ok, "rebalance destination lost capacity");
+        core_pressure[hot] -= demands[pick].load;
+        core_pressure[cold] += demands[pick].load;
+        where[pick] = cold;
+        moves.push_back(Migration{pick, hot, cold});
+    }
+    return moves;
 }
 
 } // namespace neu10

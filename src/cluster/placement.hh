@@ -51,15 +51,45 @@ struct PlacementRequest
     unsigned nMes = 1;
     unsigned nVes = 1;
     Bytes hbmBytes = 0;    ///< segment-rounded HBM demand
-    double load = 0.0;     ///< offered EU-cycles per cycle estimate
+    Bytes sramBytes = 0;   ///< segment-rounded SRAM demand
+
+    /** Offered load in EU-cycles per core-clock cycle: at initial
+     * placement an estimate (arrival rate x profiled busy EU-cycles
+     * per request), at rebalance time the pressure *observed* over
+     * the last epoch. */
+    double load = 0.0;
 };
 
-/** Remaining capacity and committed load of one fleet core. */
+/** One planned vNPU move of the epoch-boundary rebalancer. */
+struct Migration
+{
+    size_t tenant = 0;             ///< index into the caller's tenants
+    CoreId from = kInvalidCore;
+    CoreId to = kInvalidCore;
+};
+
+/** Knobs of FleetPlacer::rebalance() (cluster/fleet forwards its
+ * ElasticConfig values here). */
+struct RebalanceOptions
+{
+    /** Act only while the hottest-to-coldest observed per-core
+     * pressure gap (EU-cycles/cycle) exceeds this. */
+    double imbalanceThreshold = 0.1;
+
+    /** Migration budget for one rebalance pass. */
+    unsigned maxMigrations = 4;
+};
+
+/** Remaining capacity and committed load of one fleet core. Engine
+ * counts and HBM bytes are hard (placement fails without them); load
+ * is advisory, in the same EU-cycles-per-cycle unit as
+ * PlacementRequest::load. */
 struct CoreCapacity
 {
     unsigned freeMes = 0;
     unsigned freeVes = 0;
-    Bytes freeHbm = 0;
+    Bytes freeHbm = 0;     ///< segment-rounded bytes still free
+    Bytes freeSram = 0;    ///< segment-rounded bytes still free
     double load = 0.0;     ///< sum of placed requests' load estimates
     unsigned residents = 0;
 
@@ -86,6 +116,47 @@ class FleetPlacer
      */
     CoreId place(const PlacementRequest &request,
                  PlacementPolicy policy);
+
+    /** Capacity check against one specific core, no commitment. */
+    bool canHost(CoreId core, const PlacementRequest &request) const;
+
+    /**
+     * Commit @p request's capacity on a specific core (a migration
+     * destination chosen by the rebalancer rather than a policy).
+     * @return false — and change nothing — when the core lacks
+     *         capacity.
+     */
+    bool commit(CoreId core, const PlacementRequest &request);
+
+    /** Release a previously committed request's capacity (migration
+     * source, vNPU teardown). The request must match what was
+     * committed. */
+    void release(CoreId core, const PlacementRequest &request);
+
+    /**
+     * Epoch-boundary elastic rebalance: given the pressure observed
+     * on every core over the last epoch, greedily move the heaviest
+     * movable tenant from the hottest core to the coldest core with
+     * capacity for it, until the hot-cold gap falls under the
+     * threshold, no move narrows it, or the migration budget is
+     * spent. Planned moves are committed on this placer (release from
+     * the source, commit on the destination) as they are chosen.
+     * Deterministic: every tie breaks toward the lower index.
+     *
+     * @param core_pressure observed per-core demand, EU-cycles/cycle
+     *                      (parallel to cores()).
+     * @param tenant_core   current placement per tenant; kInvalidCore
+     *                      entries (unplaced tenants) never move.
+     * @param demands       per-tenant capacity demand; .load must be
+     *                      the same observed-pressure unit as
+     *                      @p core_pressure.
+     * @return the applied moves, in order.
+     */
+    std::vector<Migration>
+    rebalance(std::vector<double> core_pressure,
+              const std::vector<CoreId> &tenant_core,
+              const std::vector<PlacementRequest> &demands,
+              const RebalanceOptions &options);
 
     /** Per-core remaining capacity (inspection / tests). */
     const std::vector<CoreCapacity> &cores() const { return cores_; }

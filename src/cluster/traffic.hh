@@ -51,20 +51,33 @@ std::string trafficShapeName(TrafficShape shape);
 /** Parse a shape name (case-insensitive). @throws FatalError. */
 TrafficShape trafficShapeFromName(const std::string &name);
 
-/** One tenant's request-stream description. */
+/** One tenant's request-stream description.
+ *
+ * Units: rates are requests per *simulated* second; durations are
+ * seconds of simulated time. generateArrivals() converts to cycles
+ * with the core clock it is given, so the same spec describes the
+ * same physical traffic at any frequency.
+ *
+ * Seeding: every stochastic shape draws only from a neu10::Rng
+ * seeded with @ref seed — equal (spec, horizon, freq) triples yield
+ * bit-identical streams on every platform, and distinct tenants get
+ * independent streams by using distinct seeds. Trace replay is
+ * deterministic by definition and ignores the seed. */
 struct TrafficSpec
 {
     TrafficShape shape = TrafficShape::Poisson;
 
-    /** Mean arrival rate in requests per second (long-run average for
-     * every shape, including bursty and diurnal). */
+    /** Mean arrival rate in requests per simulated second (long-run
+     * average for every shape, including bursty and diurnal). */
     double ratePerSec = 100.0;
 
-    /** Stream seed; equal specs and seeds yield equal streams. */
+    /** Stream seed; equal specs and seeds yield equal streams
+     * (unused by TrafficShape::Trace). */
     std::uint64_t seed = 1;
 
     // --- Bursty (MMPP-2) -------------------------------------------
-    /** Burst-state rate relative to the base state (> 1). */
+    /** Burst-state rate relative to the base state (> 1). The base
+     * rate is derived so the long-run mean stays ratePerSec. */
     double burstMultiplier = 8.0;
 
     /** Long-run fraction of time spent in the burst state, (0, 1). */
@@ -85,7 +98,9 @@ struct TrafficSpec
     double diurnalPhase = 0.0;
 
     // --- Trace -----------------------------------------------------
-    /** Explicit arrival times in cycles (shape == Trace). */
+    /** Explicit arrival times in *cycles* (shape == Trace). Entries
+     * are sorted on replay; negative and beyond-horizon times are
+     * dropped. */
     std::vector<Cycles> trace;
 };
 

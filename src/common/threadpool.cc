@@ -1,0 +1,125 @@
+#include "common/threadpool.hh"
+
+#include <exception>
+
+#include "common/logging.hh"
+
+namespace neu10
+{
+
+/** One parallelFor invocation: an atomic index dispenser plus
+ * completion bookkeeping under the pool mutex. */
+struct ThreadPool::Job
+{
+    std::size_t n = 0;
+    const std::function<void(std::size_t)> *fn = nullptr;
+    std::size_t next = 0;       ///< next unclaimed index (mutex-held)
+    std::size_t active = 0;     ///< workers currently inside fn
+    std::exception_ptr error;   ///< first failure, rethrown by caller
+};
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads == 0 ? defaultThreads() : threads)
+{
+    // One thread means inline execution; no workers to spawn.
+    for (unsigned i = 1; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock, [this] {
+            return stop_ || (job_ != nullptr && job_->next < job_->n);
+        });
+        if (stop_)
+            return;
+        Job *job = job_;
+        while (job->next < job->n) {
+            const std::size_t i = job->next++;
+            ++job->active;
+            lock.unlock();
+            try {
+                (*job->fn)(i);
+            } catch (...) {
+                lock.lock();
+                if (!job->error)
+                    job->error = std::current_exception();
+                --job->active;
+                continue;
+            }
+            lock.lock();
+            --job->active;
+        }
+        if (job->active == 0)
+            done_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (threads_ <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    Job job;
+    job.n = n;
+    job.fn = &fn;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    NEU10_ASSERT(job_ == nullptr,
+                 "ThreadPool::parallelFor is not reentrant");
+    job_ = &job;
+    wake_.notify_all();
+
+    // The caller is a worker too: it claims indices alongside the
+    // pool threads instead of idling.
+    while (job.next < job.n) {
+        const std::size_t i = job.next++;
+        ++job.active;
+        lock.unlock();
+        try {
+            fn(i);
+        } catch (...) {
+            lock.lock();
+            if (!job.error)
+                job.error = std::current_exception();
+            --job.active;
+            continue;
+        }
+        lock.lock();
+        --job.active;
+    }
+    done_.wait(lock, [&job] { return job.active == 0; });
+    job_ = nullptr;
+    if (job.error)
+        std::rethrow_exception(job.error);
+}
+
+} // namespace neu10

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A small fixed-size thread pool for embarrassingly parallel host
+ * work.
+ *
+ * The simulator itself is single-threaded and deterministic (one
+ * EventQueue per core simulation); what *is* parallel is the fleet:
+ * cores share nothing but the traffic clock, so their open-loop
+ * simulations can run concurrently on host threads. This pool powers
+ * that (cluster/fleet) and any future index-parallel sweep.
+ *
+ * Determinism contract: parallelFor(n, fn) calls fn(i) exactly once
+ * for every i in [0, n) and returns after all calls finish. Each
+ * worker only writes state owned by its index, so results are
+ * bit-identical for any thread count — including 1, where the loop
+ * runs inline on the caller with no pool machinery at all.
+ */
+
+#ifndef NEU10_COMMON_THREADPOOL_HH
+#define NEU10_COMMON_THREADPOOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace neu10
+{
+
+/** Fixed-size pool of host worker threads (see file doc). */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 picks defaultThreads() and 1
+     *                creates no workers (all work runs inline).
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Joins all workers; pending parallelFor calls have returned. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Parallelism width (>= 1), including the inline-only case. */
+    unsigned size() const { return threads_; }
+
+    /**
+     * Run @p fn(i) for every i in [0, n), distributing indices over
+     * the workers, and block until all calls return. The first
+     * exception thrown by any fn(i) is rethrown on the caller after
+     * the remaining indices are drained (never lost, never
+     * std::terminate). Not reentrant: do not call parallelFor from
+     * inside fn.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** Host hardware concurrency, floored at 1. */
+    static unsigned defaultThreads();
+
+  private:
+    struct Job;
+
+    void workerLoop();
+
+    unsigned threads_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;   ///< workers wait here for a job
+    std::condition_variable done_;   ///< caller waits here for finish
+    Job *job_ = nullptr;             ///< current job, null when idle
+    bool stop_ = false;
+};
+
+} // namespace neu10
+
+#endif // NEU10_COMMON_THREADPOOL_HH

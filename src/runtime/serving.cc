@@ -1,6 +1,8 @@
 #include "runtime/serving.hh"
 
 #include <algorithm>
+#include <deque>
+#include <unordered_map>
 
 #include "common/logging.hh"
 #include "sim/clock.hh"
@@ -38,7 +40,7 @@ namespace
  * reaches minRequests. @return the measurement stop time. */
 Cycles
 driveClosedLoop(const ServingConfig &config,
-                const std::vector<CompiledModel> &programs,
+                const std::vector<const CompiledModel *> &programs,
                 EventQueue &queue, NpuCoreSim &core,
                 ServingResult &result)
 {
@@ -55,7 +57,7 @@ driveClosedLoop(const ServingConfig &config,
     // Closed-loop pumps: resubmit on completion until stopped.
     std::function<void(std::uint32_t)> pump = [&](std::uint32_t slot) {
         core.submit(
-            static_cast<std::uint32_t>(slot), &programs[slot],
+            static_cast<std::uint32_t>(slot), programs[slot],
             [&, slot](const RequestResult &r) {
                 TenantResult &tr = result.tenants[slot];
                 if (!stopped) {
@@ -94,28 +96,77 @@ driveClosedLoop(const ServingConfig &config,
 
 /** Open loop: precomputed arrival streams drive submissions through
  * per-tenant admission control (backlog capped at maxQueueDepth);
- * the run drains every admitted request or hits the cycle cap.
- * @return the drain time. */
+ * the run drains every admitted request, stops at stopAtCycles (an
+ * epoch boundary — unserved admitted work is reported as backlog),
+ * or hits the cycle cap. @return the measurement window. */
 Cycles
 driveOpenLoop(const ServingConfig &config,
-              const std::vector<CompiledModel> &programs,
+              const std::vector<const CompiledModel *> &programs,
               EventQueue &queue, NpuCoreSim &core,
               ServingResult &result)
 {
-    std::vector<std::uint64_t> inflight(config.tenants.size(), 0);
+    const size_t n = config.tenants.size();
+    const unsigned depth = std::max(1u, config.corePipelineDepth);
+    // Admitted requests live in two stages: a host-side FIFO of
+    // arrival stamps (`waiting`) and the core simulator itself
+    // (`in_core`, at most corePipelineDepth per tenant). `inflight`
+    // counts both — that is what admission control sees.
+    std::vector<std::uint64_t> inflight(n, 0);
+    std::vector<std::deque<Cycles>> waiting(n);
+    std::vector<unsigned> in_core(n, 0);
+    // Original arrival stamp of every core-resident request, keyed by
+    // a per-tenant sequence number: completions erase their entry,
+    // and whatever remains at an epoch-boundary stop joins the
+    // waiting FIFO as the carried backlog.
+    std::vector<std::unordered_map<std::uint64_t, Cycles>> open(n);
+    std::vector<std::uint64_t> seq(n, 0);
 
-    auto on_complete = [&](std::uint32_t i, const RequestResult &r) {
-        TenantResult &tr = result.tenants[i];
-        --inflight[i];
-        ++tr.completed;
-        tr.latencyCycles.add(r.latency());
-        if (r.latency() <= config.tenants[i].sloCycles)
-            ++tr.sloMet;
-        if (config.captureOpTimings)
-            tr.opTimings.push_back(r.opTimings);
+    // Earliest core-submission time per tenant (migration stalls).
+    // Work arriving earlier waits in the host FIFO — never in
+    // beyond-the-boundary events, so an epoch stop always sees it.
+    std::vector<Cycles> start_at(n, 0.0);
+
+    // Forward-declared so the completion callback can refill the
+    // core-side window.
+    std::function<void(std::uint32_t)> pump;
+
+    auto submit_one = [&](std::uint32_t i, Cycles stamp) {
+        const std::uint64_t rid = seq[i]++;
+        open[i].emplace(rid, stamp);
+        ++in_core[i];
+        core.submit(i, programs[i],
+                    [&, i, rid](const RequestResult &r) {
+                        TenantResult &tr = result.tenants[i];
+                        --inflight[i];
+                        --in_core[i];
+                        // Latency from the original arrival stamp, so
+                        // host-side queueing and pre-submission holds
+                        // (start offsets, carried epochs) count
+                        // toward the tail and the SLO.
+                        const Cycles lat =
+                            r.finishTime - open[i].at(rid);
+                        open[i].erase(rid);
+                        ++tr.completed;
+                        tr.latencyCycles.add(lat);
+                        if (lat <= config.tenants[i].sloCycles)
+                            ++tr.sloMet;
+                        if (config.captureOpTimings)
+                            tr.opTimings.push_back(r.opTimings);
+                        pump(i);
+                    });
     };
 
-    auto on_arrival = [&](std::uint32_t i) {
+    pump = [&](std::uint32_t i) {
+        if (queue.now() < start_at[i])
+            return; // still stalled (migration cost); wake below
+        while (in_core[i] < depth && !waiting[i].empty()) {
+            const Cycles stamp = waiting[i].front();
+            waiting[i].pop_front();
+            submit_one(i, stamp);
+        }
+    };
+
+    auto on_arrival = [&](std::uint32_t i, Cycles stamp) {
         TenantResult &tr = result.tenants[i];
         ++tr.submitted;
         if (inflight[i] >= config.tenants[i].maxQueueDepth) {
@@ -123,23 +174,63 @@ driveOpenLoop(const ServingConfig &config,
             return;
         }
         ++inflight[i];
-        core.submit(i, &programs[i],
-                    [&, i](const RequestResult &r) {
-                        on_complete(i, r);
-                    });
+        waiting[i].push_back(stamp);
+        pump(i);
     };
 
-    for (std::uint32_t i = 0; i < config.tenants.size(); ++i)
-        for (Cycles when : config.tenants[i].arrivals)
-            queue.schedule(when, [&, i](Cycles) { on_arrival(i); },
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const TenantSpec &ts = config.tenants[i];
+        start_at[i] = ts.startOffsetCycles;
+        // Carried backlog was admitted in an earlier epoch: re-enter
+        // it into the host FIFO right away, bypassing admission but
+        // counting toward the depth fresh arrivals see. The pump
+        // won't touch it before the start offset.
+        for (Cycles stamp : ts.backlog) {
+            ++inflight[i];
+            queue.schedule(0.0,
+                           [&, i, stamp](Cycles) {
+                               waiting[i].push_back(stamp);
+                               pump(i);
+                           },
                            EventPriority::Arrival);
+        }
+        for (Cycles when : ts.arrivals)
+            queue.schedule(when,
+                           [&, i, when](Cycles) {
+                               on_arrival(i, when);
+                           },
+                           EventPriority::Arrival);
+        if (start_at[i] > 0.0)
+            queue.schedule(start_at[i],
+                           [&, i](Cycles) { pump(i); },
+                           EventPriority::Arrival);
+    }
 
-    while (!queue.empty() && queue.now() < config.maxCycles)
+    while (!queue.empty() && queue.now() < config.maxCycles &&
+           queue.nextEventTime() < config.stopAtCycles)
         queue.step();
-    if (!queue.empty())
+
+    const bool at_boundary =
+        !queue.empty() && queue.nextEventTime() >= config.stopAtCycles;
+    if (!queue.empty() && !at_boundary)
         warn("open-loop run hit the %g-cycle cap with %zu events "
              "pending", config.maxCycles, queue.pending());
-    return queue.now();
+
+    // Report whatever is still admitted-but-unserved — host-queued or
+    // core-resident — so an epoch-based caller can carry it over
+    // (sorted for determinism).
+    for (std::uint32_t i = 0; i < n; ++i) {
+        TenantResult &tr = result.tenants[i];
+        tr.backlog.reserve(open[i].size() + waiting[i].size());
+        for (const auto &[rid, stamp] : open[i])
+            tr.backlog.push_back(stamp);
+        tr.backlog.insert(tr.backlog.end(), waiting[i].begin(),
+                          waiting[i].end());
+        std::sort(tr.backlog.begin(), tr.backlog.end());
+    }
+    // An epoch-bounded run is measured over the whole epoch window,
+    // not just until its last processed event.
+    return at_boundary ? config.stopAtCycles : queue.now();
 }
 
 } // anonymous namespace
@@ -149,11 +240,21 @@ runServing(const ServingConfig &config)
 {
     NEU10_ASSERT(!config.tenants.empty(), "experiment needs tenants");
 
-    // Compile every tenant's model once.
-    std::vector<CompiledModel> programs;
+    // Compile every tenant's model once — or take the caller's
+    // precompiled, shared binary (TenantSpec::program).
+    std::vector<CompiledModel> compiled;
+    compiled.reserve(config.tenants.size());
+    std::vector<const CompiledModel *> programs;
     programs.reserve(config.tenants.size());
-    for (const auto &spec : config.tenants)
-        programs.push_back(compileFor(spec, config.policy, config.core));
+    for (const auto &spec : config.tenants) {
+        if (spec.program != nullptr) {
+            programs.push_back(spec.program);
+        } else {
+            compiled.push_back(
+                compileFor(spec, config.policy, config.core));
+            programs.push_back(&compiled.back());
+        }
+    }
 
     // Engine slots per tenant.
     std::vector<VnpuSlot> slots;

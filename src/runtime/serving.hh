@@ -59,14 +59,53 @@ struct TenantSpec
     unsigned outstanding = 1; ///< closed-loop requests in flight
 
     // --- open-loop fields (ServingMode::OpenLoop only) -------------
-    /** Request arrival times in cycles, non-decreasing. */
+    /** Request arrival times in cycles (simulated core-clock cycles,
+     * like every time quantity here), non-decreasing, relative to
+     * this run's t = 0. */
     std::vector<Cycles> arrivals;
 
-    /** Admission depth: arrivals beyond this backlog are rejected. */
+    /**
+     * Admission depth: an arrival is rejected while this tenant
+     * already has this many requests admitted but not completed
+     * (queued *or* executing, including carried @ref backlog).
+     */
     unsigned maxQueueDepth = 64;
 
-    /** Latency SLO in cycles; completions within it count as goodput. */
+    /** Latency SLO in cycles; completions within it count as goodput.
+     * Latency is measured from the request's original arrival stamp,
+     * so time spent held before @ref startOffsetCycles or carried
+     * across an epoch boundary counts against the SLO. */
     Cycles sloCycles = kCyclesInf;
+
+    /**
+     * Arrival stamps (cycles, <= 0 relative to this run's t = 0) of
+     * requests admitted in an earlier epoch and still unserved: the
+     * fleet's elastic engine carries them across epoch boundaries.
+     * They re-enter the host-side queue immediately and in order,
+     * bypass admission (they were admitted once already) but count
+     * toward the admission depth seen by fresh arrivals, and keep
+     * their original stamps for latency/SLO accounting.
+     */
+    std::vector<Cycles> backlog;
+
+    /**
+     * Earliest core-submission time in cycles for this tenant (the
+     * fleet charges vNPU migration cost through this). Work arriving
+     * or carried in earlier waits in the host-side queue — admission
+     * still happens at arrival time — and the wait counts toward its
+     * latency. May exceed an epoch's window: everything still queued
+     * at the boundary is simply carried again.
+     */
+    Cycles startOffsetCycles = 0.0;
+
+    /**
+     * Optional precompiled binary for this tenant — must match
+     * (model, batch) and the run's policy and core shape. Non-owning
+     * and read-only: epoch-based callers compile once and share it
+     * across runs and host threads. When null, runServing compiles
+     * via compileFor().
+     */
+    const CompiledModel *program = nullptr;
 };
 
 /** How requests are generated (see file doc). */
@@ -92,6 +131,28 @@ struct ServingConfig
     /** Hard cap on simulated cycles (guards tiny/huge model mixes). */
     Cycles maxCycles = 4e9;
 
+    /**
+     * Open loop only: stop simulating at the first event at or after
+     * this time (an epoch boundary in the elastic fleet). Requests
+     * admitted but unserved at the stop are reported in
+     * TenantResult::backlog instead of being drained; utilization is
+     * then measured over this window. kCyclesInf (default) drains
+     * every admitted request as before.
+     */
+    Cycles stopAtCycles = kCyclesInf;
+
+    /**
+     * Open loop only: per-tenant core-side submission window. An
+     * admitted request enters the core simulator only while fewer
+     * than this many of its tenant's requests are in there (the rest
+     * of the admitted backlog waits in a host-side FIFO, as a real
+     * serving stack would double-buffer an accelerator queue). Keeps
+     * a tenant's requests executing mostly one-after-another — and
+     * bounds the work an epoch-boundary stop can lose to re-execution
+     * to this many partially-run requests per tenant.
+     */
+    unsigned corePipelineDepth = 2;
+
     bool captureOpTimings = false;
     bool captureAssignment = false;
 };
@@ -111,6 +172,12 @@ struct TenantResult
     std::uint64_t rejected = 0;   ///< admission-control drops
     std::uint64_t sloMet = 0;     ///< completions within sloCycles
     double goodput = 0.0;         ///< SLO-met requests / second
+
+    /** Arrival stamps (cycles, relative to this run's t = 0, possibly
+     * negative for carried work) of admitted requests still unserved
+     * when the run stopped at ServingConfig::stopAtCycles; sorted
+     * non-decreasing. Empty when the run drained. */
+    std::vector<Cycles> backlog;
 
     /** Per-request operator timings (captureOpTimings). */
     std::vector<std::vector<OpTiming>> opTimings;

@@ -26,9 +26,10 @@ Hypervisor::checkOwner(TenantId tenant, VnpuId id) const
 
 VnpuId
 Hypervisor::hcCreateVnpu(TenantId tenant, const VnpuConfig &config,
-                         IsolationMode isolation)
+                         IsolationMode isolation, CoreId pinned_core)
 {
-    const VnpuId id = manager_.create(tenant, config, isolation);
+    const VnpuId id = manager_.create(tenant, config, isolation,
+                                      pinned_core);
     iommu_.attach(id);
     MmioRegion region;
     if (!freeMmio_.empty()) {

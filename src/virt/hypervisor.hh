@@ -38,11 +38,17 @@ class Hypervisor
 
     /**
      * Hypercall 1: create a vNPU for @p tenant. Installs the vNPU
-     * context, attaches the IOMMU and carves an MMIO window.
+     * context, attaches the IOMMU and carves an MMIO window (reusing
+     * a recycled window when one is free). @p pinned_core lets a
+     * cluster-level placer dictate the physical core (see
+     * VnpuManager::create); the elastic fleet migrates vNPUs through
+     * destroy + pinned re-create, which is what churns this MMIO
+     * free list.
      */
     VnpuId hcCreateVnpu(TenantId tenant, const VnpuConfig &config,
                         IsolationMode isolation =
-                            IsolationMode::Hardware);
+                            IsolationMode::Hardware,
+                        CoreId pinned_core = kInvalidCore);
 
     /**
      * Hypercall 2: reconfigure. Only the owner may call.

@@ -36,6 +36,29 @@ VnpuManager::VnpuManager(const NpuBoardConfig &board)
     NEU10_ASSERT(!cores_.empty(), "board has no cores");
 }
 
+bool
+VnpuManager::coreFits(const PnpuCore &core, const VnpuConfig &config,
+                      IsolationMode isolation) const
+{
+    // Memory is always hard-isolated.
+    if (core.hbm->segmentsFor(config.memSizePerCore) >
+        core.hbm->freeSegments())
+        return false;
+    if (core.sram->segmentsFor(config.sramSizePerCore) >
+        core.sram->freeSegments())
+        return false;
+    if (isolation == IsolationMode::Hardware) {
+        return core.dedicatedMes + config.numMesPerCore <=
+                   core.cfg.numMes &&
+               core.dedicatedVes + config.numVesPerCore <=
+                   core.cfg.numVes;
+    }
+    return core.committedMes + config.numMesPerCore <=
+               core.cfg.numMes * kMaxOversubscription &&
+           core.committedVes + config.numVesPerCore <=
+               core.cfg.numVes * kMaxOversubscription;
+}
+
 CoreId
 VnpuManager::place(const VnpuConfig &config, IsolationMode isolation)
 {
@@ -45,20 +68,11 @@ VnpuManager::place(const VnpuConfig &config, IsolationMode isolation)
     CoreId best = kInvalidCore;
     double best_score = 0.0;
     for (const PnpuCore &core : cores_) {
-        // Memory is always hard-isolated.
-        if (core.hbm->segmentsFor(config.memSizePerCore) >
-            core.hbm->freeSegments())
-            continue;
-        if (core.sram->segmentsFor(config.sramSizePerCore) >
-            core.sram->freeSegments())
+        if (!coreFits(core, config, isolation))
             continue;
 
         double score;
         if (isolation == IsolationMode::Hardware) {
-            if (core.dedicatedMes + want_me > core.cfg.numMes ||
-                core.dedicatedVes + want_ve > core.cfg.numVes) {
-                continue;
-            }
             // Greedy EU/memory balance (§III-C): prefer the placement
             // that keeps engine and memory utilization closest.
             const double eu_after =
@@ -72,12 +86,6 @@ VnpuManager::place(const VnpuConfig &config, IsolationMode isolation)
                           core.hbm->totalSegments();
             score = std::abs(eu_after - mem_after);
         } else {
-            if (core.committedMes + want_me >
-                    core.cfg.numMes * kMaxOversubscription ||
-                core.committedVes + want_ve >
-                    core.cfg.numVes * kMaxOversubscription) {
-                continue;
-            }
             // Load-balance: least committed engine requirement.
             score = core.committedMes + core.committedVes;
         }
@@ -129,7 +137,7 @@ VnpuManager::unmapFromCore(Vnpu &v)
 
 VnpuId
 VnpuManager::create(TenantId tenant, const VnpuConfig &config,
-                    IsolationMode isolation)
+                    IsolationMode isolation, CoreId pinned_core)
 {
     config.validate();
     if (config.totalCores() != 1)
@@ -137,7 +145,20 @@ VnpuManager::create(TenantId tenant, const VnpuConfig &config,
               "core; request %u cores as %u instances",
               config.totalCores(), config.totalCores());
 
-    const CoreId core = place(config, isolation);
+    CoreId core = kInvalidCore;
+    if (pinned_core != kInvalidCore) {
+        if (pinned_core >= cores_.size())
+            fatal("pinned core %u does not exist (%zu cores)",
+                  pinned_core, cores_.size());
+        if (!coreFits(cores_[pinned_core], config, isolation))
+            fatal("pinned core %u cannot host %s (%s-isolated)",
+                  pinned_core, config.toString().c_str(),
+                  isolation == IsolationMode::Hardware ? "hardware"
+                                                       : "software");
+        core = pinned_core;
+    } else {
+        core = place(config, isolation);
+    }
     if (core == kInvalidCore)
         fatal("no physical core can host %s (%s-isolated)",
               config.toString().c_str(),

@@ -60,10 +60,19 @@ class VnpuManager
 
     /**
      * Create and map a vNPU (hypercall 1).
-     * @throws FatalError when no core can host the request.
+     *
+     * By default the manager picks the core (greedy EU/memory
+     * balance, §III-C). A cluster-level placer that has already
+     * decided the core (cluster/placement) passes it as
+     * @p pinned_core; the manager then only validates capacity there,
+     * keeping both layers' bookkeeping in agreement.
+     *
+     * @throws FatalError when no core — or the pinned core — can host
+     *         the request.
      */
     VnpuId create(TenantId tenant, const VnpuConfig &config,
-                  IsolationMode isolation = IsolationMode::Hardware);
+                  IsolationMode isolation = IsolationMode::Hardware,
+                  CoreId pinned_core = kInvalidCore);
 
     /**
      * Change the configuration of an existing vNPU (hypercall 2).
@@ -87,6 +96,8 @@ class VnpuManager
 
   private:
     Vnpu &getMutable(VnpuId id);
+    bool coreFits(const PnpuCore &core, const VnpuConfig &config,
+                  IsolationMode isolation) const;
     CoreId place(const VnpuConfig &config, IsolationMode isolation);
     void mapOnCore(Vnpu &v, CoreId core);
     void unmapFromCore(Vnpu &v);

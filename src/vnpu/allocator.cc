@@ -28,6 +28,21 @@ sanitize(double &m, double &v)
     }
 }
 
+/** SRAM share for an nm-ME vNPU on @p core: proportional to the ME
+ * share (§III-B), rounded up to isolation segments. */
+Bytes
+sramForMes(unsigned nm, const NpuCoreConfig &core)
+{
+    const double me_share = static_cast<double>(nm) / core.numMes;
+    const Bytes sram_want = static_cast<Bytes>(
+        std::min(1.0, me_share) * static_cast<double>(core.sramBytes));
+    const Bytes sram_segs =
+        std::max<Bytes>(1, (sram_want + core.sramSegment - 1) /
+                               core.sramSegment);
+    return std::min<Bytes>(sram_segs * core.sramSegment,
+                           core.sramBytes);
+}
+
 } // anonymous namespace
 
 double
@@ -125,15 +140,7 @@ allocateVnpu(const WorkloadProfile &prof, unsigned total_eus,
     cfg.memSizePerCore = std::min<Bytes>(segs * seg, core.hbmBytes);
 
     // SRAM proportional to the ME share (§III-B), segment-rounded.
-    const double me_share =
-        static_cast<double>(nm) / core.numMes;
-    const Bytes sram_want = static_cast<Bytes>(
-        std::min(1.0, me_share) * static_cast<double>(core.sramBytes));
-    const Bytes sram_segs =
-        std::max<Bytes>(1, (sram_want + core.sramSegment - 1) /
-                               core.sramSegment);
-    cfg.sramSizePerCore =
-        std::min<Bytes>(sram_segs * core.sramSegment, core.sramBytes);
+    cfg.sramSizePerCore = sramForMes(nm, core);
 
     cfg.validate();
     return cfg;
@@ -185,6 +192,34 @@ sizeVnpuForModel(ModelId model, unsigned batch, unsigned total_eus,
         }
     }
     return sizing;
+}
+
+bool
+resplitForResidency(VnpuSizing &sizing, unsigned total_eus,
+                    unsigned free_mes, unsigned free_ves,
+                    const NpuCoreConfig &core)
+{
+    const unsigned total = total_eus;
+    if (total < 2 || free_mes < 1 || free_ves < 1 ||
+        free_mes + free_ves < total)
+        return false;
+
+    auto [nm, nv] =
+        allocSplitEus(sizing.profile.m, sizing.profile.v, total);
+    // Clamp to the destination's residency, shifting the excess to
+    // the other engine type so the EU budget is preserved. The sum
+    // check above guarantees the shifted side fits.
+    if (nm > free_mes) {
+        nv = total - free_mes;
+        nm = free_mes;
+    } else if (nv > free_ves) {
+        nm = total - free_ves;
+        nv = free_ves;
+    }
+    sizing.config.numMesPerCore = nm;
+    sizing.config.numVesPerCore = nv;
+    sizing.config.sramSizePerCore = sramForMes(nm, core);
+    return true;
 }
 
 } // namespace neu10

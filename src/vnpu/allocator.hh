@@ -111,6 +111,24 @@ VnpuSizing sizeVnpuForModel(ModelId model, unsigned batch,
                             unsigned total_eus,
                             const NpuCoreConfig &core = {});
 
+/**
+ * Re-run the §III-B engine split of an already-sized vNPU against the
+ * residency of a migration destination: Eq. (4) picks the ideal ME:VE
+ * ratio for @p total_eus (the paid budget, or a larger transient
+ * grant into the destination's idle EUs), then the split is clamped
+ * to the destination core's (@p free_mes, @p free_ves) with the
+ * excess shifted to the other engine type, so the full EU count is
+ * preserved. SRAM is re-sized to the new ME share. Updates
+ * @p sizing.config in place.
+ *
+ * @return false — leaving @p sizing untouched — when @p total_eus
+ *         cannot fit the free capacity at all (fewer free EUs than
+ *         the budget, or either engine type fully taken).
+ */
+bool resplitForResidency(VnpuSizing &sizing, unsigned total_eus,
+                         unsigned free_mes, unsigned free_ves,
+                         const NpuCoreConfig &core = {});
+
 } // namespace neu10
 
 #endif // NEU10_VNPU_ALLOCATOR_HH

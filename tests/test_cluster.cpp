@@ -259,6 +259,118 @@ TEST(Placement, NamesRoundTrip)
     EXPECT_THROW(placementFromName("worst-fit"), FatalError);
 }
 
+TEST(Placement, CommitReleaseRoundTrip)
+{
+    FleetPlacer placer(2, NpuCoreConfig{});
+    const PlacementRequest r = req(3, 2, 4_GiB, 0.4);
+    EXPECT_TRUE(placer.canHost(1, r));
+    EXPECT_TRUE(placer.commit(1, r));
+    EXPECT_EQ(placer.cores()[1].freeMes, 1u);
+    EXPECT_EQ(placer.cores()[1].freeVes, 2u);
+    EXPECT_EQ(placer.cores()[1].residents, 1u);
+    // A second identical commit exceeds the MEs and must not change
+    // anything.
+    EXPECT_FALSE(placer.commit(1, r));
+    EXPECT_EQ(placer.cores()[1].residents, 1u);
+    placer.release(1, r);
+    EXPECT_EQ(placer.cores()[1].freeMes, 4u);
+    EXPECT_EQ(placer.cores()[1].residents, 0u);
+    EXPECT_DOUBLE_EQ(placer.cores()[1].load, 0.0);
+}
+
+// ----------------------------------------------------- rebalance
+
+TEST(Rebalance, SpreadsStackedCoresOntoIdleOnes)
+{
+    FleetPlacer placer(8, NpuCoreConfig{});
+    // First-fit packs eight 1M1V tenants onto cores 0 and 1.
+    std::vector<CoreId> where;
+    std::vector<PlacementRequest> demands(8);
+    for (size_t t = 0; t < 8; ++t) {
+        demands[t] = req(1, 1, 1_GiB, 1.0 + 0.01 * t);
+        where.push_back(
+            placer.place(demands[t], PlacementPolicy::FirstFit));
+    }
+    ASSERT_EQ(where[3], 0u);
+    ASSERT_EQ(where[7], 1u);
+
+    std::vector<double> pressure(8, 0.0);
+    for (size_t t = 0; t < 8; ++t)
+        pressure[where[t]] += demands[t].load;
+
+    RebalanceOptions opts;
+    opts.imbalanceThreshold = 0.05;
+    opts.maxMigrations = 4;
+    const auto moves =
+        placer.rebalance(pressure, where, demands, opts);
+    EXPECT_EQ(moves.size(), 4u);
+    for (const Migration &mv : moves) {
+        EXPECT_TRUE(mv.from == 0 || mv.from == 1);
+        EXPECT_GE(mv.to, 2u); // always to a previously idle core
+    }
+    // The placer's books reflect the moves.
+    EXPECT_EQ(placer.cores()[0].residents +
+                  placer.cores()[1].residents,
+              4u);
+}
+
+TEST(Rebalance, ThresholdAndBudgetRespected)
+{
+    FleetPlacer placer(4, NpuCoreConfig{});
+    std::vector<CoreId> where;
+    std::vector<PlacementRequest> demands(4);
+    for (size_t t = 0; t < 4; ++t) {
+        demands[t] = req(1, 1, 1_GiB, 0.5);
+        where.push_back(
+            placer.place(demands[t], PlacementPolicy::FirstFit));
+    }
+    std::vector<double> pressure = {2.0, 0.0, 0.0, 0.0};
+
+    // A gap under the threshold: no moves at all.
+    RebalanceOptions lax;
+    lax.imbalanceThreshold = 5.0;
+    EXPECT_TRUE(
+        placer.rebalance(pressure, where, demands, lax).empty());
+
+    // A budget of one: exactly one move even though more would help.
+    RebalanceOptions tight;
+    tight.imbalanceThreshold = 0.05;
+    tight.maxMigrations = 1;
+    EXPECT_EQ(
+        placer.rebalance(pressure, where, demands, tight).size(), 1u);
+}
+
+TEST(Rebalance, UnfixableHotCoreDoesNotStallOthers)
+{
+    FleetPlacer placer(4, NpuCoreConfig{});
+    // Tenant 0: one huge-backlog vNPU alone filling core 0. Moving
+    // it would just relocate the hot spot (its load equals the whole
+    // gap), so the rebalancer must freeze core 0 and still fix the
+    // *second*-hottest core behind it.
+    std::vector<PlacementRequest> demands = {
+        req(4, 4, 1_GiB, 10.0),
+        req(1, 1, 1_GiB, 3.0),
+        req(1, 1, 1_GiB, 3.0),
+    };
+    std::vector<CoreId> where;
+    for (const auto &d : demands)
+        where.push_back(placer.place(d, PlacementPolicy::FirstFit));
+    ASSERT_EQ(where[0], 0u);
+    ASSERT_EQ(where[1], 1u);
+    ASSERT_EQ(where[2], 1u);
+
+    std::vector<double> pressure = {10.0, 6.0, 0.0, 0.0};
+    RebalanceOptions opts;
+    opts.imbalanceThreshold = 0.05;
+    opts.maxMigrations = 4;
+    const auto moves =
+        placer.rebalance(pressure, where, demands, opts);
+    ASSERT_EQ(moves.size(), 1u);
+    EXPECT_NE(moves[0].tenant, 0u);
+    EXPECT_EQ(moves[0].from, 1u);
+    EXPECT_GE(moves[0].to, 2u);
+}
+
 // ---------------------------------------------- open-loop serving
 
 /** Open-loop single-tenant config calibrated against the allocator's
@@ -348,6 +460,71 @@ TEST(OpenLoop, DeterministicAcrossRuns)
     EXPECT_EQ(a.tenants[0].completed, b.tenants[0].completed);
     EXPECT_EQ(a.tenants[0].rejected, b.tenants[0].rejected);
     EXPECT_EQ(a.tenants[0].p99(), b.tenants[0].p99());
+}
+
+TEST(OpenLoop, EpochBoundaryStopConservesRequests)
+{
+    // An overloaded tenant stopped mid-run: every arrival that fired
+    // is completed, rejected, or reported as carriable backlog, and
+    // the run is measured over the epoch window.
+    setLogLevel(LogLevel::Silent);
+    auto cfg = openLoopConfig(/*rho=*/2.0, /*depth=*/16);
+    cfg.stopAtCycles = 1e7;
+    const auto r = runServing(cfg);
+    const auto &t = r.tenants[0];
+    EXPECT_GT(t.backlog.size(), 0u);
+    EXPECT_EQ(t.completed + t.rejected + t.backlog.size(),
+              t.submitted);
+    EXPECT_TRUE(std::is_sorted(t.backlog.begin(), t.backlog.end()));
+    for (Cycles stamp : t.backlog) {
+        EXPECT_GE(stamp, 0.0);
+        EXPECT_LT(stamp, cfg.stopAtCycles);
+    }
+    EXPECT_EQ(r.makespan, cfg.stopAtCycles);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(OpenLoop, CarriedBacklogIsServedNextEpoch)
+{
+    setLogLevel(LogLevel::Silent);
+    auto first = openLoopConfig(/*rho=*/2.0, /*depth=*/16,
+                                /*horizon=*/1e7);
+    first.stopAtCycles = 1e7;
+    const auto a = runServing(first);
+    const std::vector<Cycles> carried = a.tenants[0].backlog;
+    ASSERT_GT(carried.size(), 0u);
+
+    // Second epoch: only the carried work, restamped relative to the
+    // new origin. It bypasses admission and fully drains; waiting
+    // across the boundary shows up in the latency tail.
+    auto second = first;
+    second.stopAtCycles = kCyclesInf;
+    second.tenants[0].arrivals.clear();
+    second.tenants[0].backlog.clear();
+    for (Cycles stamp : carried)
+        second.tenants[0].backlog.push_back(stamp - 1e7);
+    const auto b = runServing(second);
+    const auto &t = b.tenants[0];
+    EXPECT_EQ(t.submitted, 0u); // carried work is not re-counted
+    EXPECT_EQ(t.rejected, 0u);
+    EXPECT_EQ(t.completed, carried.size());
+    EXPECT_TRUE(t.backlog.empty());
+    // Every carried request waited at least one full epoch.
+    EXPECT_GE(t.latencyCycles.min(), 0.0);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(OpenLoop, StartOffsetHoldsSubmissionsAndCountsInLatency)
+{
+    auto cfg = openLoopConfig(/*rho=*/0.3, /*depth=*/64,
+                              /*horizon=*/1e6);
+    cfg.tenants[0].startOffsetCycles = 5e6;
+    const auto r = runServing(cfg);
+    const auto &t = r.tenants[0];
+    EXPECT_EQ(t.completed, t.submitted);
+    // Every request arrived before 1e6 but could only start at 5e6:
+    // the hold is part of its latency.
+    EXPECT_GE(t.latencyCycles.min(), 4e6);
 }
 
 // --------------------------------------------------------- fleet
@@ -473,6 +650,150 @@ TEST(Fleet, PoliciesProduceDifferentPackings)
 
     // Imbalance shows in the per-core utilization spread.
     EXPECT_GT(ff.coreMeUtil.stddev(), lb.coreMeUtil.stddev());
+}
+
+TEST(Fleet, ThreadCountDoesNotChangeResults)
+{
+    // The tentpole determinism contract: per-core simulations run on
+    // a host thread pool, and the outcome is bit-identical whether
+    // one thread or many execute them.
+    auto cfg = smallFleet(PlacementPolicy::LoadBalanced);
+    cfg.threads = 1;
+    const auto serial = runFleet(cfg);
+    for (unsigned threads : {4u, 8u}) {
+        cfg.threads = threads;
+        const auto parallel = runFleet(cfg);
+        EXPECT_EQ(serial.completed, parallel.completed);
+        EXPECT_EQ(serial.submitted, parallel.submitted);
+        EXPECT_EQ(serial.rejected, parallel.rejected);
+        EXPECT_EQ(serial.sloMet, parallel.sloMet);
+        EXPECT_EQ(serial.makespan, parallel.makespan);
+        EXPECT_EQ(serial.p50(), parallel.p50());
+        EXPECT_EQ(serial.p99(), parallel.p99());
+        EXPECT_EQ(serial.goodput, parallel.goodput);
+        ASSERT_EQ(serial.tenants.size(), parallel.tenants.size());
+        for (size_t i = 0; i < serial.tenants.size(); ++i) {
+            EXPECT_EQ(serial.tenants[i].completed,
+                      parallel.tenants[i].completed);
+            EXPECT_EQ(serial.tenants[i].p99(),
+                      parallel.tenants[i].p99());
+            EXPECT_EQ(serial.placements[i].core,
+                      parallel.placements[i].core);
+        }
+        for (size_t c = 0; c < serial.cores.size(); ++c) {
+            EXPECT_EQ(serial.cores[c].completed,
+                      parallel.cores[c].completed);
+            EXPECT_EQ(serial.cores[c].euUtil,
+                      parallel.cores[c].euUtil);
+        }
+    }
+}
+
+/** The bench_fleet_scaling part-2 scenario, shrunk: 8 overloaded
+ * 2-EU tenants first-fit-stacked onto 2 of 8 cores, bursty traffic. */
+FleetConfig
+imbalancedFleet(unsigned epochs, unsigned threads = 1)
+{
+    FleetConfig cfg;
+    cfg.numBoards = 2;
+    cfg.placement = PlacementPolicy::FirstFit;
+    cfg.horizon = 6e6;
+    cfg.maxCycles = 50.0 * cfg.horizon;
+    cfg.threads = threads;
+    cfg.elastic.epochs = epochs;
+    cfg.elastic.imbalanceThreshold = 0.05;
+    const Cycles service =
+        sizeVnpuForModel(ModelId::Mnist, 32, 2, cfg.board.core)
+            .serviceEstimate();
+    for (unsigned i = 0; i < 8; ++i) {
+        ClusterTenantSpec t;
+        t.model = ModelId::Mnist;
+        t.batch = 32;
+        t.eus = 2;
+        t.traffic.shape = TrafficShape::Bursty;
+        t.traffic.ratePerSec =
+            1.2 * cfg.board.core.freqHz / service;
+        t.traffic.seed = 42 + i;
+        t.sloCycles = 5.0 * service;
+        t.maxQueueDepth = 32;
+        cfg.tenants.push_back(t);
+    }
+    return cfg;
+}
+
+TEST(Fleet, ElasticRebalancingBeatsStaticUnderImbalance)
+{
+    // The ISSUE-3 acceptance scenario: under an imbalanced bursty
+    // trace, epoch-based rebalancing must demonstrably improve the
+    // fleet over the static placement — directionally on both tail
+    // latency and goodput here, since the hot cores are saturated
+    // while most of the fleet idles.
+    const auto stat = runFleet(imbalancedFleet(/*epochs=*/1));
+    const auto elas = runFleet(imbalancedFleet(/*epochs=*/8));
+    EXPECT_GT(elas.migrations, 0u);
+    EXPECT_LT(elas.p99(), stat.p99());
+    EXPECT_GT(elas.goodput, stat.goodput);
+    EXPECT_GT(elas.completed, stat.completed);
+    // Spreading shows as a tighter cross-core utilization spread.
+    EXPECT_LT(elas.coreEuUtil.stddev(), stat.coreEuUtil.stddev());
+    // Migrated vNPUs actually moved and the books know it.
+    unsigned moved = 0;
+    for (const auto &pl : elas.placements)
+        moved += pl.migrations;
+    EXPECT_EQ(moved, elas.migrations);
+    EXPECT_EQ(elas.epochReports.size(), 8u);
+}
+
+TEST(Fleet, ElasticRunIsDeterministicAndThreadInvariant)
+{
+    const auto a = runFleet(imbalancedFleet(/*epochs=*/6));
+    const auto b = runFleet(imbalancedFleet(/*epochs=*/6));
+    const auto c =
+        runFleet(imbalancedFleet(/*epochs=*/6, /*threads=*/4));
+    for (const auto *r : {&b, &c}) {
+        EXPECT_EQ(a.completed, r->completed);
+        EXPECT_EQ(a.rejected, r->rejected);
+        EXPECT_EQ(a.migrations, r->migrations);
+        EXPECT_EQ(a.p99(), r->p99());
+        for (size_t i = 0; i < a.placements.size(); ++i) {
+            EXPECT_EQ(a.placements[i].core, r->placements[i].core);
+            EXPECT_EQ(a.placements[i].nMes, r->placements[i].nMes);
+        }
+    }
+}
+
+TEST(Fleet, MigrationStallLongerThanEpochConserves)
+{
+    // A migration stall exceeding the epoch window: the stalled
+    // tenant's carried work and arrivals must survive in the host
+    // queue across boundaries, not vanish into never-fired events.
+    auto cfg = imbalancedFleet(/*epochs=*/8);
+    cfg.elastic.migrationCostCycles = 2.0 * cfg.horizon / 8;
+    const auto r = runFleet(cfg);
+    EXPECT_GT(r.migrations, 0u);
+    EXPECT_EQ(r.completed + r.rejected, r.submitted);
+    EXPECT_EQ(r.latencyCycles.count(), r.completed);
+}
+
+TEST(Fleet, EpochsAloneKeepAccountingConsistent)
+{
+    // Epoch splitting with rebalancing disabled (huge threshold):
+    // request conservation and the per-epoch reports must hold.
+    auto cfg = imbalancedFleet(/*epochs=*/4);
+    cfg.elastic.imbalanceThreshold = 1e18;
+    const auto r = runFleet(cfg);
+    EXPECT_EQ(r.migrations, 0u);
+    ASSERT_EQ(r.epochReports.size(), 4u);
+    EXPECT_EQ(r.completed + r.rejected, r.submitted);
+    EXPECT_EQ(r.latencyCycles.count(), r.completed);
+    std::uint64_t epoch_sum = 0;
+    for (const auto &er : r.epochReports) {
+        epoch_sum += er.completed;
+        EXPECT_EQ(er.migrations, 0u);
+    }
+    EXPECT_EQ(epoch_sum, r.completed);
+    // The final (draining) epoch carries nothing out.
+    EXPECT_EQ(r.epochReports.back().backlog, 0u);
 }
 
 TEST(Fleet, BurstyTrafficHurtsTails)

@@ -1,17 +1,21 @@
 /**
  * @file
  * Unit tests for src/common: logging, RNG determinism and statistics,
- * string/unit formatting.
+ * string/unit formatting, and the host thread pool.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/strings.hh"
+#include "common/threadpool.hh"
 #include "common/types.hh"
 
 namespace neu10
@@ -180,6 +184,78 @@ TEST(Types, ByteLiterals)
     EXPECT_EQ(1_KiB, 1024ull);
     EXPECT_EQ(2_MiB, 2ull << 20);
     EXPECT_EQ(64_GiB, 64ull << 30);
+}
+
+// ----------------------------------------------------- thread pool
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(hits.size(),
+                     [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline)
+{
+    ThreadPool pool(1);
+    const std::thread::id caller = std::this_thread::get_id();
+    bool all_inline = true;
+    pool.parallelFor(64, [&](size_t) {
+        if (std::this_thread::get_id() != caller)
+            all_inline = false;
+    });
+    EXPECT_TRUE(all_inline);
+}
+
+TEST(ThreadPoolTest, ZeroTasksIsANoOp)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.parallelFor(0, [&](size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, MoreTasksThanThreads)
+{
+    // Indices far beyond the worker count drain correctly and the
+    // pool is reusable across calls.
+    ThreadPool pool(3);
+    for (int round = 0; round < 3; ++round) {
+        std::atomic<std::uint64_t> sum{0};
+        pool.parallelFor(257, [&](size_t i) { sum += i; });
+        EXPECT_EQ(sum.load(), 257ull * 256ull / 2ull);
+    }
+}
+
+TEST(ThreadPoolTest, PropagatesFirstException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.parallelFor(100,
+                         [&](size_t i) {
+                             ++ran;
+                             if (i == 37)
+                                 throw FatalError("boom");
+                         }),
+        FatalError);
+    // The remaining indices were still drained (nothing deadlocks
+    // and the pool stays usable).
+    EXPECT_EQ(ran.load(), 100);
+    std::atomic<int> again{0};
+    pool.parallelFor(10, [&](size_t) { ++again; });
+    EXPECT_EQ(again.load(), 10);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+    ThreadPool pool(0); // 0 = hardware concurrency
+    EXPECT_GE(pool.size(), 1u);
 }
 
 } // anonymous namespace

@@ -114,6 +114,58 @@ TEST(Distribution, MergeAbsorbsOtherSamples)
     EXPECT_EQ(a.count(), 5u);
 }
 
+TEST(Distribution, MergeEmptyIntoEmpty)
+{
+    Distribution a, b;
+    a.merge(b);
+    EXPECT_TRUE(a.empty());
+    EXPECT_EQ(a.sum(), 0.0);
+    EXPECT_EQ(a.percentile(0.99), 0.0);
+    EXPECT_EQ(a.stddev(), 0.0);
+}
+
+TEST(Distribution, MergeSingleSampleEdges)
+{
+    // empty <- single: the merged set IS the single sample.
+    Distribution single;
+    single.add(7.0);
+    Distribution into;
+    into.merge(single);
+    EXPECT_EQ(into.count(), 1u);
+    EXPECT_DOUBLE_EQ(into.mean(), 7.0);
+    EXPECT_DOUBLE_EQ(into.percentile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(into.percentile(0.5), 7.0);
+    EXPECT_DOUBLE_EQ(into.percentile(1.0), 7.0);
+    EXPECT_DOUBLE_EQ(into.stddev(), 0.0);
+
+    // single <- empty leaves it alone.
+    into.merge(Distribution{});
+    EXPECT_EQ(into.count(), 1u);
+
+    // single <- single interpolates percentiles over both.
+    Distribution other;
+    other.add(9.0);
+    into.merge(other);
+    EXPECT_EQ(into.count(), 2u);
+    EXPECT_DOUBLE_EQ(into.min(), 7.0);
+    EXPECT_DOUBLE_EQ(into.max(), 9.0);
+    EXPECT_DOUBLE_EQ(into.percentile(0.5), 8.0);
+}
+
+TEST(Distribution, MergeInvalidatesSortedCache)
+{
+    // Query first (populating the lazy sorted cache), then merge:
+    // order statistics must reflect the merged samples.
+    Distribution a;
+    a.add(5.0);
+    EXPECT_DOUBLE_EQ(a.percentile(0.5), 5.0);
+    Distribution b;
+    b.add(1.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.percentile(0.5), 3.0);
+}
+
 TEST(TimeSeries, AverageOfPiecewiseConstant)
 {
     TimeSeries ts;

@@ -458,5 +458,60 @@ TEST(Driver, QueryConfigReflectsHierarchy)
     EXPECT_EQ(cfg.memSizePerCore, 8_GiB);
 }
 
+// ------------------------------------------------- pinned creation
+
+TEST(Manager, PinnedCreateUsesRequestedCore)
+{
+    NpuBoardConfig board; // 4 cores
+    VnpuManager mgr(board);
+    // The manager's own policy would balance these; pinning
+    // overrides it.
+    const VnpuId a = mgr.create(1, smallVnpu(), IsolationMode::Hardware,
+                                /*pinned_core=*/3);
+    const VnpuId b = mgr.create(1, smallVnpu(), IsolationMode::Hardware,
+                                /*pinned_core=*/3);
+    EXPECT_EQ(mgr.get(a).core, 3u);
+    EXPECT_EQ(mgr.get(b).core, 3u);
+    EXPECT_EQ(mgr.residentsOf(3).size(), 2u);
+}
+
+TEST(Manager, PinnedCreateRejectsOverCommit)
+{
+    NpuBoardConfig board;
+    VnpuManager mgr(board);
+    mgr.create(1, smallVnpu(), IsolationMode::Hardware, 0);
+    mgr.create(1, smallVnpu(), IsolationMode::Hardware, 0);
+    setLogLevel(LogLevel::Silent);
+    // Core 0's engines are full; pinning there must fail even though
+    // three other cores are empty.
+    EXPECT_THROW(
+        mgr.create(1, smallVnpu(), IsolationMode::Hardware, 0),
+        FatalError);
+    // A core the board does not have fails too.
+    EXPECT_THROW(
+        mgr.create(1, smallVnpu(), IsolationMode::Hardware, 99),
+        FatalError);
+    setLogLevel(LogLevel::Warn);
+    EXPECT_NO_THROW(
+        mgr.create(1, smallVnpu(), IsolationMode::Hardware, 1));
+}
+
+TEST(HypervisorTest, PinnedCreateRecyclesMmioAcrossCores)
+{
+    // The elastic fleet's migration pattern: destroy on one core,
+    // re-create pinned on another. The MMIO window must be recycled,
+    // not leaked from a growing aperture.
+    NpuBoardConfig board;
+    Hypervisor hv(board);
+    const VnpuId a =
+        hv.hcCreateVnpu(7, smallVnpu(), IsolationMode::Hardware, 0);
+    const MmioRegion first = hv.mmioRegion(a);
+    hv.hcDestroyVnpu(7, a);
+    const VnpuId b =
+        hv.hcCreateVnpu(7, smallVnpu(), IsolationMode::Hardware, 2);
+    EXPECT_EQ(hv.mmioRegion(b).base, first.base);
+    EXPECT_EQ(hv.manager().get(b).core, 2u);
+}
+
 } // anonymous namespace
 } // namespace neu10

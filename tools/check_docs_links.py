@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in README.md and docs/*.md.
+
+Scans markdown inline links and bare reference targets, resolves
+relative ones against the file that contains them, and reports any
+target that does not exist in the working tree. External schemes
+(http/https/mailto) and pure in-page anchors are ignored; an anchor
+suffix on a relative link is stripped before the existence check.
+
+Usage: python3 tools/check_docs_links.py [repo-root]
+Exit status: 0 when every relative link resolves, 1 otherwise.
+"""
+
+import pathlib
+import re
+import sys
+
+# Inline markdown links: [text](target). Images share the syntax.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files(root: pathlib.Path):
+    for path in [root / "README.md", *sorted((root / "docs").glob("*.md"))]:
+        if path.exists():
+            yield path
+
+
+def check(root: pathlib.Path) -> int:
+    broken = []
+    checked = 0
+    for doc in doc_files(root):
+        text = doc.read_text(encoding="utf-8")
+        # Ignore fenced code blocks: ASCII diagrams and shell samples
+        # are full of bracket/paren sequences that are not links.
+        text = re.sub(r"```.*?```", "", text, flags=re.S)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            checked += 1
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append((doc.relative_to(root), target))
+    for doc, target in broken:
+        print(f"BROKEN  {doc}: {target}")
+    print(f"checked {checked} relative links in "
+          f"{len(list(doc_files(root)))} files, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    sys.exit(check(root))
