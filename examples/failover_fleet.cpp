@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Failover scenario: a provider's fleet loses a whole board mid-day.
+ *
+ * Eight tenants are load-balanced one-per-core across a 2-board
+ * fleet. At 40% of the horizon, board 0 trips off the fabric — four
+ * cores gone, four vNPUs' device state with them. The failover
+ * controller notices at the next epoch boundary: it quarantines the
+ * dead cores in the placer, revokes their vNPUs through the
+ * hypervisor's bulk host-side teardown (MMIO windows and IOMMU
+ * attachments recycled), checkpoints each tenant's
+ * admitted-but-unserved backlog, and restores the four vNPUs on the
+ * surviving board — re-running the §III-B split against each
+ * destination's residency and charging a recovery stall. Requests
+ * that arrived during the outage are delivered late and priced
+ * against the SLO; nothing is silently dropped. The printout follows
+ * the controller epoch by epoch and compares the outcome with the
+ * same fleet running without failover.
+ *
+ * Run: ./build/examples/failover_fleet
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cluster/fleet.hh"
+#include "sim/clock.hh"
+#include "vnpu/allocator.hh"
+
+using namespace neu10;
+
+namespace
+{
+
+FleetConfig
+scenario(bool failover, Cycles horizon)
+{
+    FleetConfig cfg;
+    cfg.numBoards = 2; // x 4 cores
+    cfg.placement = PlacementPolicy::LoadBalanced;
+    cfg.horizon = horizon;
+    cfg.maxCycles = 50.0 * horizon;
+    cfg.elastic.epochs = 6;
+    cfg.elastic.imbalanceThreshold = 1e18; // isolate the failover
+    cfg.resilience.failover = failover;
+    cfg.resilience.recoveryStallCycles = 1e5;
+
+    FaultEvent loss;
+    loss.at = 0.4 * horizon;
+    loss.kind = FaultKind::BoardLoss;
+    loss.board = 0;
+    loss.durationCycles = kCyclesInf;
+    cfg.resilience.faults = {loss};
+
+    const VnpuSizing sizing =
+        sizeVnpuForModel(ModelId::Mnist, 8, 4, cfg.board.core);
+    for (unsigned i = 0; i < 8; ++i) {
+        ClusterTenantSpec t;
+        t.model = ModelId::Mnist;
+        t.batch = 8;
+        t.eus = 4;
+        t.traffic.ratePerSec = 0.35 * cfg.board.core.freqHz /
+                               sizing.serviceEstimate();
+        t.traffic.seed = 42 + i;
+        t.sloCycles = 10.0 * sizing.serviceEstimate();
+        t.maxQueueDepth = 64;
+        cfg.tenants.push_back(t);
+    }
+    return cfg;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    const Clock clock;
+    const bool smoke = []() {
+        const char *v = std::getenv("NEU10_SMOKE");
+        return v != nullptr && v[0] != '\0' &&
+               !(v[0] == '0' && v[1] == '\0');
+    }();
+    const Cycles horizon = smoke ? 6e6 : 1.8e7;
+
+    const FleetResult off = runFleet(scenario(false, horizon));
+    const FleetResult on = runFleet(scenario(true, horizon));
+
+    std::printf("Failover fleet: 8 tenants on 2 boards; board 0 "
+                "(cores 0-3) dies at 40%% of the run\n\n");
+
+    std::printf("The failover controller, epoch by epoch:\n");
+    for (const FleetEpochReport &er : on.epochReports)
+        std::printf("  epoch %u: %5llu served  %3llu queued  %u "
+                    "core failures, %u vNPUs restored\n",
+                    er.epoch,
+                    static_cast<unsigned long long>(er.completed),
+                    static_cast<unsigned long long>(er.backlog),
+                    er.failures, er.restores);
+
+    std::printf("\nWhere the evicted tenants landed:\n");
+    for (size_t i = 0; i < on.tenants.size(); ++i) {
+        const TenantResult &tr = on.tenants[i];
+        if (tr.failovers == 0)
+            continue;
+        std::printf("  tenant %zu: restored on core %u as %uM%uV, "
+                    "%llu requests carried through, %.2f ms down\n",
+                    i, on.placements[i].core, on.placements[i].nMes,
+                    on.placements[i].nVes,
+                    static_cast<unsigned long long>(
+                        tr.recoveredRequests),
+                    clock.toSeconds(tr.downtimeCycles) * 1e3);
+    }
+
+    auto report = [&](const char *name, const FleetResult &r) {
+        std::printf("  %-12s %6llu served  %5llu lost  goodput "
+                    "%6.0f req/s  p99 %7.3f ms  availability "
+                    "%.1f%%\n",
+                    name,
+                    static_cast<unsigned long long>(r.completed),
+                    static_cast<unsigned long long>(r.lostRequests),
+                    r.goodput, clock.toSeconds(r.p99()) * 1e3,
+                    100.0 * r.availability);
+    };
+    std::printf("\nFinal score (same traffic, same fault):\n");
+    report("no-failover", off);
+    report("failover", on);
+
+    std::printf("\nReading: half the fleet's hardware is gone either "
+                "way — availability is %.1f%% in both rows. Without "
+                "failover that costs every post-fault request of "
+                "four tenants (%llu lost). With it, the controller "
+                "pays four recovery stalls (MTTR %.2f ms), packs the "
+                "survivors' spare engines with the restored vNPUs, "
+                "and the same hardware loses nothing — the outage "
+                "shows up as tail latency instead of dropped "
+                "traffic.\n",
+                100.0 * on.availability,
+                static_cast<unsigned long long>(off.lostRequests),
+                clock.toSeconds(on.mttrCycles) * 1e3);
+    return 0;
+}

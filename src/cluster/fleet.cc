@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/threadpool.hh"
+#include "resilience/checkpoint.hh"
 #include "sim/clock.hh"
 #include "virt/hypervisor.hh"
 #include "vnpu/allocator.hh"
@@ -31,9 +32,27 @@ runFleet(const FleetConfig &config)
     result.placements.resize(num_tenants);
     result.tenants.resize(num_tenants);
 
+    // ---- fold the injected fault trace into a queryable timeline --
+    const FleetTopology topo{config.numBoards, cores_per_board};
+    const FaultTimeline timeline(config.resilience.faults, topo);
+    for (const FaultEvent &ev : timeline.events())
+        if (ev.at < config.horizon && ev.kind != FaultKind::Repair)
+            ++result.faultsInjected;
+
     // ---- size every vNPU and bin-pack the fleet -------------------
+    // Placement is fault-oblivious: the trace is the future, and the
+    // provisioning path does not get to peek at it. Tenants landing
+    // on a doomed core are exactly what the failover controller is
+    // for.
     FleetPlacer placer(num_cores, core_cfg);
     std::vector<VnpuSizing> sizings(num_tenants);
+    // The load each placed tenant's *current* commit charged on the
+    // placer's books: the offered estimate at initial placement, the
+    // observed pressure after a rebalance move, the checkpointed
+    // load after a restore. Load is advisory, but releasing exactly
+    // what was committed keeps a repaired core's books from drifting
+    // for the rest of the run.
+    std::vector<double> committed_load(num_tenants, 0.0);
     for (size_t i = 0; i < num_tenants; ++i) {
         const ClusterTenantSpec &spec = config.tenants[i];
         sizings[i] = sizeVnpuForModel(spec.model, spec.batch,
@@ -57,16 +76,33 @@ runFleet(const FleetConfig &config)
         req.sramBytes = sizing.config.sramSizePerCore;
         req.load = pl.load;
         pl.core = placer.place(req, config.placement);
+        committed_load[i] = pl.load;
         if (!pl.placed())
             ++result.unplacedTenants;
     }
 
+    // One tenant's demand as the placer sees it. Engine/memory
+    // fields mirror the current commit exactly; the advisory load
+    // field is whatever the caller charges (rebalance() internally
+    // releases a mover's *observed* pressure from its source, so
+    // load books drift there by design — see its doc).
+    auto requestFor = [&](size_t i, double load) {
+        const TenantPlacement &pl = result.placements[i];
+        PlacementRequest req;
+        req.nMes = pl.nMes;
+        req.nVes = pl.nVes;
+        req.hbmBytes = pl.hbmBytes;
+        req.sramBytes = sizings[i].config.sramSizePerCore;
+        req.load = load;
+        return req;
+    };
+
     // ---- install every placed vNPU through the hypervisor ---------
     // One hypervisor spans the fleet (to it, the boards are one big
     // inventory with the same core ordering as the placer). Later
-    // migrations travel its destroy/create hypercalls, so long-lived
-    // elastic runs churn — and recycle — the MMIO aperture exactly
-    // as a production host would.
+    // migrations travel its destroy/create hypercalls and failures
+    // its bulk core revocation, so long-lived runs churn — and
+    // recycle — the MMIO aperture exactly as a production host would.
     NpuBoardConfig fleet_board = config.board;
     fleet_board.numChips = config.numBoards * config.board.numChips;
     Hypervisor hv(fleet_board);
@@ -94,7 +130,7 @@ runFleet(const FleetConfig &config)
         }
     }
 
-    // ---- epoch loop: simulate, observe, rebalance, resume ---------
+    // ---- epoch loop: simulate, observe, fail over, rebalance ------
     const unsigned epochs = config.elastic.epochs;
     const Cycles window = config.horizon / epochs;
     ThreadPool pool(config.threads);
@@ -114,7 +150,10 @@ runFleet(const FleetConfig &config)
     });
 
     std::vector<std::vector<Cycles>> carried(num_tenants);
-    std::vector<bool> migrated(num_tenants, false);
+    // Submission hold charged at the next epoch's start: the
+    // migration cost for freshly moved vNPUs, the recovery stall for
+    // freshly restored ones.
+    std::vector<Cycles> stall_next(num_tenants, 0.0);
     std::vector<size_t> next_arrival(num_tenants, 0);
     std::vector<double> blocked_cycles(num_tenants, 0.0);
     std::vector<double> me_busy(num_cores, 0.0);
@@ -122,8 +161,34 @@ runFleet(const FleetConfig &config)
     std::vector<Cycles> core_live(num_cores, 0.0);
     std::vector<std::uint64_t> core_completed(num_cores, 0);
 
+    // Failover state: checkpoints awaiting a restore slot, in fault-
+    // detection order (epoch, then failed-core index, then resident
+    // order) — which is also the priority when restore capacity is
+    // scarce — and the running MTTR sum.
+    std::vector<VnpuCheckpoint> pending;
+    Cycles mttr_sum = 0.0;
+
+    // Abandon a failed tenant for good: its checkpointed backlog and
+    // every not-yet-delivered arrival are lost (counted as rejected
+    // too, so request conservation holds), and it stays down to the
+    // end of the horizon.
+    auto abandon = [&](const VnpuCheckpoint &ckpt) {
+        const size_t i = ckpt.tenant;
+        TenantResult &tr = result.tenants[i];
+        const std::uint64_t lost_arrivals =
+            arrivals[i].size() - next_arrival[i];
+        next_arrival[i] = arrivals[i].size();
+        const std::uint64_t lost =
+            ckpt.backlog.size() + lost_arrivals;
+        tr.submitted += lost_arrivals;
+        tr.rejected += lost;
+        tr.lostRequests += lost;
+        tr.downtimeCycles += config.horizon - ckpt.faultAt;
+    };
+
     for (unsigned e = 0; e < epochs; ++e) {
         const Cycles start = e * window;
+        const Cycles epoch_end = start + window;
         const bool last = (e + 1 == epochs);
 
         std::vector<std::vector<size_t>> residents(num_cores);
@@ -131,20 +196,58 @@ runFleet(const FleetConfig &config)
             if (result.placements[i].placed())
                 residents[result.placements[i].core].push_back(i);
 
+        // Fatal fault onsets taking cores down inside this epoch's
+        // window. The sim is stopped at the onset (the host only
+        // *acts* at the boundary, but a dead core executes nothing);
+        // arrivals past the onset stay queued in the stream and are
+        // delivered to the restored vNPU later.
+        std::vector<Cycles> fatal_abs(num_cores, kCyclesInf);
+        for (CoreId c = 0; c < num_cores; ++c) {
+            fatal_abs[c] = timeline.fatalOnset(c, start, epoch_end);
+            if (fatal_abs[c] < kCyclesInf)
+                ++result.coreFailures;
+        }
+
         std::vector<CoreId> occupied;
-        for (CoreId c = 0; c < num_cores; ++c)
-            if (!residents[c].empty())
-                occupied.push_back(c);
+        for (CoreId c = 0; c < num_cores; ++c) {
+            if (residents[c].empty())
+                continue;
+            // An onset coinciding exactly with the epoch start kills
+            // the core before it executes a single cycle: running a
+            // zero-length simulation would fire no events at all and
+            // silently drop the carried backlog, so skip the run —
+            // carried[] still holds the residents' admitted work
+            // (stamps relative to this epoch) and the boundary
+            // checkpoints it below like any other fault.
+            if (fatal_abs[c] == start)
+                continue;
+            occupied.push_back(c);
+        }
 
         std::vector<ServingConfig> runs(occupied.size());
         for (size_t k = 0; k < occupied.size(); ++k) {
+            const CoreId c = occupied[k];
+            const bool faulted = fatal_abs[c] < kCyclesInf;
+            const Cycles stop_abs =
+                faulted ? fatal_abs[c]
+                        : (last ? kCyclesInf : epoch_end);
+            // Transient MMIO/DMA retries hitting this core before it
+            // (possibly) dies, charged as an epoch-start submission
+            // hold on every resident.
+            const Cycles transient = timeline.transientStall(
+                c, start, std::min(stop_abs, config.horizon));
+            result.transientFaults += timeline.transientCount(
+                c, start, std::min(stop_abs, config.horizon));
+
             ServingConfig &sc = runs[k];
             sc.core = core_cfg;
             sc.policy = config.corePolicy;
             sc.mode = ServingMode::OpenLoop;
             sc.maxCycles = config.maxCycles;
-            sc.stopAtCycles = last ? kCyclesInf : window;
-            for (size_t i : residents[occupied[k]]) {
+            sc.stopAtCycles =
+                faulted ? fatal_abs[c] - start
+                        : (last ? kCyclesInf : window);
+            for (size_t i : residents[c]) {
                 const ClusterTenantSpec &spec = config.tenants[i];
                 const TenantPlacement &pl = result.placements[i];
                 TenantSpec ts;
@@ -157,17 +260,19 @@ runFleet(const FleetConfig &config)
                 ts.sloCycles = spec.sloCycles;
                 ts.program = &programs[i];
                 // Carried backlog resumes here; a freshly migrated
-                // vNPU additionally stalls for the migration cost.
+                // or restored vNPU additionally stalls for its move
+                // or recovery cost, and transient faults add their
+                // retry stall on top.
                 ts.backlog = std::move(carried[i]);
                 carried[i].clear();
-                ts.startOffsetCycles =
-                    migrated[i] ? config.elastic.migrationCostCycles
-                                : 0.0;
-                migrated[i] = false;
-                const Cycles stop =
-                    last ? kCyclesInf : start + window;
+                ts.startOffsetCycles = stall_next[i] + transient;
+                stall_next[i] = 0.0;
                 while (next_arrival[i] < arrivals[i].size() &&
-                       arrivals[i][next_arrival[i]] < stop) {
+                       arrivals[i][next_arrival[i]] < stop_abs) {
+                    // Stamps can fall before this epoch's start
+                    // (arrivals held through an outage): the serving
+                    // loop delivers them at t = 0 with the original
+                    // stamp priced into latency.
                     ts.arrivals.push_back(
                         arrivals[i][next_arrival[i]] - start);
                     ++next_arrival[i];
@@ -191,11 +296,13 @@ runFleet(const FleetConfig &config)
         std::vector<double> tenant_pressure(num_tenants, 0.0);
         for (size_t k = 0; k < occupied.size(); ++k) {
             const CoreId c = occupied[k];
+            const bool faulted = fatal_abs[c] < kCyclesInf;
             const ServingResult &r = done[k];
             const Cycles measured = std::max(1.0, r.makespan);
             me_busy[c] += r.meUsefulUtil * measured;
             ve_busy[c] += r.veUtil * measured;
-            core_live[c] += last ? r.makespan : window;
+            core_live[c] += faulted ? fatal_abs[c] - start
+                                    : (last ? r.makespan : window);
             for (size_t t = 0; t < residents[c].size(); ++t) {
                 const size_t i = residents[c][t];
                 const TenantResult &tr = r.tenants[t];
@@ -211,10 +318,19 @@ runFleet(const FleetConfig &config)
                 core_completed[c] += tr.completed;
                 er.completed += tr.completed;
                 er.backlog += tr.backlog.size();
-                // Carry admitted-but-unserved work into the next
-                // epoch, restamped relative to its start.
-                for (Cycles stamp : tr.backlog)
-                    carried[i].push_back(stamp - window);
+                if (faulted) {
+                    // The core died under this tenant: park its
+                    // admitted-but-unserved work in carried[] (kept
+                    // relative to *this* epoch's start) for the
+                    // boundary below to checkpoint — it decides
+                    // whether the work is restored or lost.
+                    carried[i] = tr.backlog;
+                } else {
+                    // Carry admitted-but-unserved work into the next
+                    // epoch, restamped relative to its start.
+                    for (Cycles stamp : tr.backlog)
+                        carried[i].push_back(stamp - window);
+                }
                 // The pressure this tenant demonstrably exerted:
                 // work it got through *plus* work it left queued,
                 // in busy EU-cycles per cycle of the epoch.
@@ -233,19 +349,106 @@ runFleet(const FleetConfig &config)
             er.pressureStddev = pdist.stddev();
         }
 
+        // ---- failover controller at the epoch boundary ------------
+        // Evict the dead cores' vNPUs (bulk host-side revocation:
+        // MMIO windows and IOMMU attachments recycle exactly once),
+        // refresh quarantine from the timeline, then try to restore
+        // every pending checkpoint on the surviving capacity.
+        for (CoreId c = 0; c < num_cores; ++c) {
+            if (fatal_abs[c] == kCyclesInf)
+                continue;
+            ++er.failures;
+            if (residents[c].empty())
+                continue;
+            for (size_t i : residents[c]) {
+                placer.release(c, requestFor(i, committed_load[i]));
+                // Checkpoint the admitted-but-unserved work: the
+                // fault-stopped run's backlog (or, for a core dead
+                // from the epoch's first cycle, the untouched
+                // carry-in), parked in carried[] with stamps
+                // relative to this epoch.
+                pending.push_back(captureCheckpoint(
+                    i, static_cast<TenantId>(i), c, fatal_abs[c],
+                    config.tenants[i].eus, sizings[i], &programs[i],
+                    committed_load[i], carried[i], start));
+                carried[i].clear();
+            }
+            const auto revoked = hv.hcRevokeCore(c);
+            NEU10_ASSERT(revoked.size() == residents[c].size(),
+                         "core %u revocation missed a vNPU", c);
+            for (const auto &rv : revoked) {
+                NEU10_ASSERT(vnpu_ids[rv.tenant] == rv.id,
+                             "revoked vNPU %u does not match tenant "
+                             "%u's instance", rv.id, rv.tenant);
+                vnpu_ids[rv.tenant] = kInvalidVnpu;
+                result.placements[rv.tenant].core = kInvalidCore;
+            }
+        }
+        std::vector<bool> just_restored(num_tenants, false);
+        if (!last) {
+            const Cycles now = epoch_end;
+            for (CoreId c = 0; c < num_cores; ++c)
+                placer.setQuarantined(c, timeline.downAt(c, now));
+
+            if (config.resilience.failover) {
+                std::vector<VnpuCheckpoint> still;
+                for (VnpuCheckpoint &ckpt : pending) {
+                    RestoreOutcome out = restoreCheckpoint(
+                        ckpt, placer, hv, config.placement, core_cfg);
+                    if (!out.restored()) {
+                        still.push_back(std::move(ckpt));
+                        continue;
+                    }
+                    const size_t i = ckpt.tenant;
+                    just_restored[i] = true;
+                    vnpu_ids[i] = out.vnpu;
+                    sizings[i] = ckpt.sizing;
+                    committed_load[i] = ckpt.load;
+                    TenantPlacement &pl = result.placements[i];
+                    pl.core = out.core;
+                    pl.nMes = out.nMes;
+                    pl.nVes = out.nVes;
+                    for (Cycles stamp : ckpt.backlog)
+                        carried[i].push_back(stamp - now);
+                    stall_next[i] =
+                        config.resilience.recoveryStallCycles;
+                    TenantResult &tr = result.tenants[i];
+                    ++tr.failovers;
+                    ++result.failovers;
+                    ++er.restores;
+                    // Recovered: the checkpointed backlog plus the
+                    // arrivals held through the outage — everything
+                    // a failover-less fleet would have dropped that
+                    // now gets its chance (late) at service.
+                    std::uint64_t held = 0;
+                    for (size_t a = next_arrival[i];
+                         a < arrivals[i].size() &&
+                         arrivals[i][a] < now;
+                         ++a)
+                        ++held;
+                    tr.recoveredRequests +=
+                        ckpt.backlog.size() + held;
+                    const Cycles repaired =
+                        (now - ckpt.faultAt) +
+                        config.resilience.recoveryStallCycles;
+                    tr.downtimeCycles += repaired;
+                    mttr_sum += repaired;
+                }
+                pending = std::move(still);
+            } else {
+                for (const VnpuCheckpoint &ckpt : pending)
+                    abandon(ckpt);
+                pending.clear();
+            }
+        }
+
         // ---- elastic rebalance at the epoch boundary --------------
         if (!last && epochs > 1) {
             std::vector<CoreId> where(num_tenants, kInvalidCore);
             std::vector<PlacementRequest> demands(num_tenants);
             for (size_t i = 0; i < num_tenants; ++i) {
-                const TenantPlacement &pl = result.placements[i];
-                where[i] = pl.core;
-                demands[i].nMes = pl.nMes;
-                demands[i].nVes = pl.nVes;
-                demands[i].hbmBytes = pl.hbmBytes;
-                demands[i].sramBytes =
-                    sizings[i].config.sramSizePerCore;
-                demands[i].load = tenant_pressure[i];
+                where[i] = result.placements[i].core;
+                demands[i] = requestFor(i, tenant_pressure[i]);
             }
             RebalanceOptions opts;
             opts.imbalanceThreshold =
@@ -253,6 +456,17 @@ runFleet(const FleetConfig &config)
             opts.maxMigrations = config.elastic.maxMigrationsPerEpoch;
             const std::vector<Migration> moves =
                 placer.rebalance(pressure, where, demands, opts);
+
+            // rebalance() applied every planned move to the placer's
+            // books at once, so the grown re-splits below see the
+            // post-rebalance residency. Mirror that in the manager
+            // before any re-create: destroy every mover first —
+            // otherwise a grant grown into EUs a *later* move is
+            // about to vacate would exceed the destination's current
+            // occupancy and the pinned create would (rightly) refuse.
+            for (const Migration &mv : moves)
+                hv.hcDestroyVnpu(static_cast<TenantId>(mv.tenant),
+                                 vnpu_ids[mv.tenant]);
 
             for (const Migration &mv : moves) {
                 TenantPlacement &pl = result.placements[mv.tenant];
@@ -303,24 +517,42 @@ runFleet(const FleetConfig &config)
                                          "fits its destination core");
                     }
                 }
-                // The move itself is hypercall traffic: destroy
-                // frees the MMIO window and IOMMU attachment, the
-                // pinned create on the destination reuses them.
-                hv.hcDestroyVnpu(static_cast<TenantId>(mv.tenant),
-                                 vnpu_ids[mv.tenant]);
+                // The move itself is hypercall traffic: the destroy
+                // above freed the MMIO window and IOMMU attachment,
+                // the pinned create on the destination reuses them.
                 vnpu_ids[mv.tenant] = hv.hcCreateVnpu(
                     static_cast<TenantId>(mv.tenant),
                     sizings[mv.tenant].config,
                     IsolationMode::Hardware, mv.to);
                 pl.core = mv.to;
                 ++pl.migrations;
-                migrated[mv.tenant] = true;
+                committed_load[mv.tenant] = demands[mv.tenant].load;
+                // Accumulate, don't overwrite: a vNPU restored at
+                // this same boundary already owes its recovery
+                // stall, and moving it again adds the migration on
+                // top. Keep the MTTR/downtime books equal to the
+                // stall actually simulated.
+                stall_next[mv.tenant] +=
+                    config.elastic.migrationCostCycles;
+                if (just_restored[mv.tenant]) {
+                    result.tenants[mv.tenant].downtimeCycles +=
+                        config.elastic.migrationCostCycles;
+                    mttr_sum += config.elastic.migrationCostCycles;
+                }
             }
             er.migrations = static_cast<unsigned>(moves.size());
             result.migrations += static_cast<unsigned>(moves.size());
         }
         result.epochReports.push_back(er);
     }
+
+    // Tenants never restored (failover off handled them already;
+    // here: no capacity found by the end, or the fault hit the final
+    // epoch) lose their checkpointed work and any undelivered
+    // arrivals.
+    for (const VnpuCheckpoint &ckpt : pending)
+        abandon(ckpt);
+    pending.clear();
 
     // ---- fleet-wide makespan and per-core reports -----------------
     result.makespan = config.horizon;
@@ -332,6 +564,7 @@ runFleet(const FleetConfig &config)
         if (result.placements[i].placed())
             ++final_tenants[result.placements[i].core];
 
+    Cycles fleet_down = 0.0;
     result.cores.resize(num_cores);
     for (CoreId c = 0; c < num_cores; ++c) {
         FleetCoreReport &rep = result.cores[c];
@@ -340,6 +573,8 @@ runFleet(const FleetConfig &config)
         rep.tenants = final_tenants[c];
         rep.completed = core_completed[c];
         rep.makespan = core_live[c];
+        rep.downCycles = timeline.downCycles(c, 0.0, config.horizon);
+        fleet_down += rep.downCycles;
         // Busy cycles over the fleet makespan, so cores that drained
         // early (or stood empty for epochs) compare fairly.
         rep.meUsefulUtil = me_busy[c] / result.makespan;
@@ -350,6 +585,11 @@ runFleet(const FleetConfig &config)
         result.coreMeUtil.add(rep.meUsefulUtil);
         result.coreEuUtil.add(rep.euUtil);
     }
+    result.availability =
+        1.0 - fleet_down / (static_cast<double>(num_cores) *
+                            config.horizon);
+    result.mttrCycles =
+        result.failovers > 0 ? mttr_sum / result.failovers : 0.0;
 
     // ---- fleet-wide SLO accounting --------------------------------
     const double secs =
@@ -366,6 +606,9 @@ runFleet(const FleetConfig &config)
         result.completed += tr.completed;
         result.rejected += tr.rejected;
         result.sloMet += tr.sloMet;
+        result.lostRequests += tr.lostRequests;
+        result.recoveredRequests += tr.recoveredRequests;
+        result.downtimeCycles += tr.downtimeCycles;
         result.latencyCycles.merge(tr.latencyCycles);
     }
     result.goodput = result.sloMet / secs;

@@ -31,6 +31,18 @@
  * migration cost through the hypervisor's destroy/create hypercalls
  * (exercising MMIO-window recycling), and the open-loop serving
  * resumes with carried-over backlogs.
+ *
+ * The fleet is also *fault-aware* (ResilienceConfig): an injected
+ * fault trace (resilience/faults) takes cores and whole boards down
+ * mid-run. A faulted core's epoch stops at the fault onset; at the
+ * next epoch boundary the failover controller quarantines the core
+ * in the placer, revokes its vNPUs through the hypervisor's bulk
+ * host-side teardown, checkpoints each tenant's admitted-but-
+ * unserved work (resilience/checkpoint), and restores the vNPUs on
+ * surviving cores — charging a recovery stall and accounting the
+ * downtime, lost vs. recovered requests, and MTTR. With failover
+ * disabled the same trace simply kills the affected tenants, which
+ * is the baseline bench_resilience compares against.
  */
 
 #ifndef NEU10_CLUSTER_FLEET_HH
@@ -42,6 +54,7 @@
 #include "cluster/placement.hh"
 #include "cluster/traffic.hh"
 #include "npu/config.hh"
+#include "resilience/faults.hh"
 #include "runtime/serving.hh"
 #include "stats/distribution.hh"
 
@@ -102,6 +115,32 @@ struct ElasticConfig
     double growFactor = 2.0;
 };
 
+/** Fault-injection and failover knobs. */
+struct ResilienceConfig
+{
+    /** Injected fault trace (absolute cycles, any order); empty =
+     * failure-free run, bit-identical to the pre-resilience engine.
+     * Generate one with generateFaultTrace() or write it by hand
+     * (bench_resilience injects a single board loss). Faults are
+     * detected at epoch boundaries, so failover needs
+     * ElasticConfig::epochs >= 2 to act; a fatal fault still stops
+     * the affected core's serving at its onset with epochs == 1,
+     * but the evicted tenants can never be restored. */
+    std::vector<FaultEvent> faults;
+
+    /** Master switch: with failover off the same fault trace is
+     * injected but dead cores' tenants are abandoned — their
+     * checkpointed backlog and all later arrivals count as lost.
+     * This is the no-failover baseline. */
+    bool failover = true;
+
+    /** Cycles a restored vNPU stalls before submitting again on its
+     * new core (context re-create, program re-load, MMIO/IOMMU
+     * re-map) — the failover analogue of
+     * ElasticConfig::migrationCostCycles, and part of MTTR. */
+    Cycles recoveryStallCycles = 5e5;
+};
+
 /** Fleet experiment configuration. */
 struct FleetConfig
 {
@@ -128,6 +167,8 @@ struct FleetConfig
     unsigned threads = 1;
 
     ElasticConfig elastic;
+
+    ResilienceConfig resilience;
 
     /** Fleet-wide core count. */
     unsigned
@@ -164,6 +205,13 @@ struct FleetEpochReport
     std::uint64_t backlog = 0;    ///< admitted-but-unserved, carried
     unsigned migrations = 0;      ///< applied at this epoch's end
     double pressureStddev = 0.0;  ///< cross-core observed imbalance
+
+    /** Fatal core-down onsets detected during this epoch. */
+    unsigned failures = 0;
+
+    /** Checkpointed vNPUs restored at this epoch's end (may lag the
+     * failures: restores retry while capacity is short). */
+    unsigned restores = 0;
 };
 
 /** Post-run per-core report. */
@@ -183,6 +231,9 @@ struct FleetCoreReport
     double euUtil = 0.0;
 
     Cycles makespan = 0.0;      ///< this core's drain time
+
+    /** Cycles of the horizon this core was down (injected faults). */
+    Cycles downCycles = 0.0;
 };
 
 /** Whole-fleet outcome. */
@@ -207,7 +258,7 @@ struct FleetResult
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
     std::uint64_t rejected = 0; ///< admission drops + unplaced-tenant
-                                ///< arrivals
+                                ///< arrivals + failure-lost requests
     std::uint64_t sloMet = 0;
     unsigned unplacedTenants = 0;
 
@@ -215,6 +266,46 @@ struct FleetResult
      * report per epoch (a single entry when elastic.epochs == 1). */
     unsigned migrations = 0;
     std::vector<FleetEpochReport> epochReports;
+
+    // --- availability accounting (all zero/1.0 without faults) -----
+    /** Injected fault events whose onset fell within the horizon. */
+    unsigned faultsInjected = 0;
+
+    /** Transient MMIO/DMA retry stalls charged to occupied cores
+     * (a transient on an empty or already-down core has no MMIO
+     * traffic to hit and is not counted). */
+    unsigned transientFaults = 0;
+
+    /** Fatal core-down onsets within the horizon, counted once per
+     * affected core whether or not it hosted vNPUs at the time (a
+     * board loss counts once per core of the board). Evictions and
+     * failovers track the occupied subset. */
+    unsigned coreFailures = 0;
+
+    /** vNPUs successfully restored onto surviving cores. */
+    unsigned failovers = 0;
+
+    /** Requests permanently dropped by failures (also in rejected,
+     * so completed + rejected == submitted still holds). */
+    std::uint64_t lostRequests = 0;
+
+    /** Admitted requests carried through a failover restore. */
+    std::uint64_t recoveredRequests = 0;
+
+    /** Summed tenant-downtime cycles (fault onset to restore-ready,
+     * horizon-capped for tenants never restored). */
+    Cycles downtimeCycles = 0.0;
+
+    /** Core-level availability over the horizon:
+     * 1 - sum(core down cycles) / (totalCores x horizon). Derived
+     * from the injected trace, so identical with failover on or
+     * off — failover changes what the downtime *costs*, not how
+     * long the hardware was down. */
+    double availability = 1.0;
+
+    /** Mean cycles from fault onset to restored-and-submitting over
+     * all failovers (0 when none succeeded). */
+    Cycles mttrCycles = 0.0;
 
     Cycles makespan = 0.0;      ///< slowest core's drain time
     double goodput = 0.0;       ///< SLO-met requests / second

@@ -46,8 +46,23 @@ FleetPlacer::FleetPlacer(unsigned num_cores, const NpuCoreConfig &core)
 bool
 FleetPlacer::fits(const CoreCapacity &c, const PlacementRequest &r) const
 {
-    return c.freeMes >= r.nMes && c.freeVes >= r.nVes &&
-           c.freeHbm >= r.hbmBytes && c.freeSram >= r.sramBytes;
+    return !c.quarantined && c.freeMes >= r.nMes &&
+           c.freeVes >= r.nVes && c.freeHbm >= r.hbmBytes &&
+           c.freeSram >= r.sramBytes;
+}
+
+void
+FleetPlacer::setQuarantined(CoreId core, bool q)
+{
+    NEU10_ASSERT(core < cores_.size(), "bad core id %u", core);
+    cores_[core].quarantined = q;
+}
+
+bool
+FleetPlacer::quarantined(CoreId core) const
+{
+    NEU10_ASSERT(core < cores_.size(), "bad core id %u", core);
+    return cores_[core].quarantined;
 }
 
 CoreId
@@ -149,6 +164,11 @@ FleetPlacer::rebalance(std::vector<double> core_pressure,
 
     std::vector<CoreId> where = tenant_core;
     std::vector<Migration> moves;
+    // One migration per tenant per pass: callers mirror the plan
+    // into the hypervisor as one destroy + one pinned create per
+    // mover, and a twice-moved tenant would corrupt that mirroring
+    // (and thrash the vNPU in practice).
+    std::vector<bool> moved(demands.size(), false);
     // Cores whose residents offered no viable move this pass: a core
     // hosting one huge-backlog vNPU can be the hottest yet unfixable
     // (moving its only tenant just relocates the hot spot), and must
@@ -156,17 +176,22 @@ FleetPlacer::rebalance(std::vector<double> core_pressure,
     std::vector<bool> frozen(cores_.size(), false);
     while (moves.size() < options.maxMigrations) {
         // Hottest non-frozen and coldest cores; ties toward the
-        // lower index.
-        CoreId hot = kInvalidCore, cold = 0;
+        // lower index. Quarantined cores are invisible on both
+        // sides: they host nothing (not hot) and must not attract
+        // migrants while down (not cold).
+        CoreId hot = kInvalidCore, cold = kInvalidCore;
         for (CoreId c = 0; c < core_pressure.size(); ++c) {
+            if (cores_[c].quarantined)
+                continue;
             if (!frozen[c] &&
                 (hot == kInvalidCore ||
                  core_pressure[c] > core_pressure[hot]))
                 hot = c;
-            if (core_pressure[c] < core_pressure[cold])
+            if (cold == kInvalidCore ||
+                core_pressure[c] < core_pressure[cold])
                 cold = c;
         }
-        if (hot == kInvalidCore)
+        if (hot == kInvalidCore || cold == kInvalidCore)
             break;
         const double gap = core_pressure[hot] - core_pressure[cold];
         if (gap <= options.imbalanceThreshold)
@@ -176,7 +201,7 @@ FleetPlacer::rebalance(std::vector<double> core_pressure,
         // core and (b) narrows the gap rather than inverting it.
         size_t pick = demands.size();
         for (size_t t = 0; t < demands.size(); ++t) {
-            if (where[t] != hot)
+            if (where[t] != hot || moved[t])
                 continue;
             if (demands[t].load >= gap ||
                 !canHost(cold, demands[t]))
@@ -196,6 +221,7 @@ FleetPlacer::rebalance(std::vector<double> core_pressure,
         core_pressure[hot] -= demands[pick].load;
         core_pressure[cold] += demands[pick].load;
         where[pick] = cold;
+        moved[pick] = true;
         moves.push_back(Migration{pick, hot, cold});
     }
     return moves;

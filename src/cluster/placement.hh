@@ -93,6 +93,13 @@ struct CoreCapacity
     double load = 0.0;     ///< sum of placed requests' load estimates
     unsigned residents = 0;
 
+    /** Quarantined by the failover controller (hardware fault): the
+     * core hosts nothing until repaired — place/canHost/commit treat
+     * it as full and the rebalancer never targets it. Its free
+     * capacity is tracked through the outage so un-quarantining
+     * restores it exactly. */
+    bool quarantined = false;
+
     /** Free execution units (the bin-packing dimension). */
     unsigned
     freeEus() const
@@ -140,7 +147,12 @@ class FleetPlacer
      * capacity for it, until the hot-cold gap falls under the
      * threshold, no move narrows it, or the migration budget is
      * spent. Planned moves are committed on this placer (release from
-     * the source, commit on the destination) as they are chosen.
+     * the source, commit on the destination) as they are chosen; a
+     * tenant moves at most once per pass, and quarantined cores are
+     * invisible on both sides. Because the whole plan is applied to
+     * this placer's books up front, a caller mirroring the moves into
+     * other bookkeeping (e.g. hypervisor contexts) must tear down
+     * every mover before re-creating any of them.
      * Deterministic: every tie breaks toward the lower index.
      *
      * @param core_pressure observed per-core demand, EU-cycles/cycle
@@ -149,7 +161,11 @@ class FleetPlacer
      *                      entries (unplaced tenants) never move.
      * @param demands       per-tenant capacity demand; .load must be
      *                      the same observed-pressure unit as
-     *                      @p core_pressure.
+     *                      @p core_pressure. Note the source core is
+     *                      released this observed load even when the
+     *                      original commit charged an estimate —
+     *                      load is advisory and tolerates that
+     *                      drift; engines and bytes never drift.
      * @return the applied moves, in order.
      */
     std::vector<Migration>
@@ -157,6 +173,20 @@ class FleetPlacer
               const std::vector<CoreId> &tenant_core,
               const std::vector<PlacementRequest> &demands,
               const RebalanceOptions &options);
+
+    /**
+     * Quarantine (or, with @p q false, repair) one core. While
+     * quarantined a core hosts nothing: place() skips it, canHost()
+     * and commit() report no capacity, and rebalance() neither
+     * drains it (its residents were evicted by the caller) nor picks
+     * it as a migration destination. release() still works so a
+     * failover controller can evict the failed core's residents
+     * after quarantining it, in either order.
+     */
+    void setQuarantined(CoreId core, bool q);
+
+    /** True while @p core is quarantined. */
+    bool quarantined(CoreId core) const;
 
     /** Per-core remaining capacity (inspection / tests). */
     const std::vector<CoreCapacity> &cores() const { return cores_; }

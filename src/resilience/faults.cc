@@ -1,0 +1,297 @@
+#include "resilience/faults.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace neu10
+{
+
+std::string
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::TransientMmio: return "transient-mmio";
+      case FaultKind::TransientDma: return "transient-dma";
+      case FaultKind::CoreStall: return "core-stall";
+      case FaultKind::BoardLoss: return "board-loss";
+      case FaultKind::Repair: return "repair";
+    }
+    panic("unknown fault kind %d", static_cast<int>(kind));
+}
+
+bool
+faultIsFatal(FaultKind kind)
+{
+    return kind == FaultKind::CoreStall || kind == FaultKind::BoardLoss;
+}
+
+namespace
+{
+
+/** Stable sub-seed per (trace seed, kind, unit index): kind and unit
+ * are mixed through distinct odd multipliers (no linear combination,
+ * so (kind, unit) pairs can never collide) and SplitMix64-finalized,
+ * giving every stream an uncorrelated generator. */
+std::uint64_t
+subSeed(std::uint64_t seed, FaultKind kind, unsigned unit)
+{
+    std::uint64_t z = seed;
+    z ^= (static_cast<std::uint64_t>(kind) + 1u) *
+         0x9e3779b97f4a7c15ull;
+    z ^= (static_cast<std::uint64_t>(unit) + 1u) *
+         0xc2b2ae3d27d4eb4full;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Append a Poisson stream of @p kind events for one unit. */
+void
+appendStream(std::vector<FaultEvent> &out, FaultKind kind,
+             unsigned unit, double mtbf_sec, double duration_mean_sec,
+             bool exponential_duration, std::uint64_t seed,
+             Cycles horizon, double freq_hz)
+{
+    if (mtbf_sec <= 0.0)
+        return;
+    Rng rng(subSeed(seed, kind, unit));
+    const bool core_scoped = kind != FaultKind::BoardLoss;
+    Cycles t = rng.exponential(mtbf_sec) * freq_hz;
+    while (t < horizon) {
+        FaultEvent ev;
+        ev.at = t;
+        ev.kind = kind;
+        if (core_scoped)
+            ev.core = unit;
+        else
+            ev.board = unit;
+        if (duration_mean_sec > 0.0) {
+            const double d = exponential_duration
+                                 ? rng.exponential(duration_mean_sec)
+                                 : duration_mean_sec;
+            ev.durationCycles = d * freq_hz;
+        } else {
+            // A non-positive duration means "until repaired" — i.e.
+            // forever within the run — for the fatal kinds, but a
+            // *free* retry for transients: an infinite retry stall
+            // would silently halt the tenant, which no one asking
+            // for zero-cost transients means.
+            ev.durationCycles =
+                faultIsFatal(kind) ? kCyclesInf : 0.0;
+        }
+        out.push_back(ev);
+        t += rng.exponential(mtbf_sec) * freq_hz;
+    }
+}
+
+void
+sortTrace(std::vector<FaultEvent> &trace)
+{
+    std::sort(trace.begin(), trace.end(),
+              [](const FaultEvent &a, const FaultEvent &b) {
+                  if (a.at != b.at)
+                      return a.at < b.at;
+                  // Board-scoped events order by board after every
+                  // core-scoped event at the same instant.
+                  const CoreId ca = a.core, cb = b.core;
+                  if (ca != cb)
+                      return ca < cb;
+                  if (a.board != b.board)
+                      return a.board < b.board;
+                  return static_cast<int>(a.kind) <
+                         static_cast<int>(b.kind);
+              });
+}
+
+} // anonymous namespace
+
+std::vector<FaultEvent>
+generateFaultTrace(const FaultSpec &spec, const FleetTopology &topo,
+                   Cycles horizon, double freq_hz)
+{
+    NEU10_ASSERT(topo.totalCores() > 0, "fault topology has no cores");
+    NEU10_ASSERT(freq_hz > 0.0, "fault trace needs a clock");
+
+    std::vector<FaultEvent> trace;
+    for (CoreId c = 0; c < topo.totalCores(); ++c) {
+        appendStream(trace, FaultKind::TransientMmio, c,
+                     spec.transientMmioMtbfSec, spec.transientCostSec,
+                     /*exponential_duration=*/false, spec.seed, horizon,
+                     freq_hz);
+        appendStream(trace, FaultKind::TransientDma, c,
+                     spec.transientDmaMtbfSec, spec.transientCostSec,
+                     /*exponential_duration=*/false, spec.seed, horizon,
+                     freq_hz);
+        appendStream(trace, FaultKind::CoreStall, c,
+                     spec.coreStallMtbfSec, spec.coreStallMeanSec,
+                     /*exponential_duration=*/true, spec.seed, horizon,
+                     freq_hz);
+    }
+    for (unsigned b = 0; b < topo.numBoards; ++b)
+        appendStream(trace, FaultKind::BoardLoss, b,
+                     spec.boardLossMtbfSec, spec.boardRepairMeanSec,
+                     /*exponential_duration=*/true, spec.seed, horizon,
+                     freq_hz);
+    sortTrace(trace);
+    return trace;
+}
+
+FaultTimeline::FaultTimeline(std::vector<FaultEvent> trace,
+                             const FleetTopology &topo)
+    : topo_(topo), trace_(std::move(trace))
+{
+    NEU10_ASSERT(topo_.totalCores() > 0,
+                 "fault timeline needs a topology");
+    sortTrace(trace_);
+    down_.resize(topo_.totalCores());
+    transients_.resize(topo_.totalCores());
+
+    // Board loss intervals: close each at the earliest of its duration
+    // elapsing or an explicit Repair of that board.
+    std::vector<std::vector<Interval>> board_down(topo_.numBoards);
+    for (size_t i = 0; i < trace_.size(); ++i) {
+        const FaultEvent &ev = trace_[i];
+        switch (ev.kind) {
+          case FaultKind::BoardLoss: {
+            if (ev.board >= topo_.numBoards)
+                fatal("fault event addresses board %u of a %u-board "
+                      "fleet", ev.board, topo_.numBoards);
+            Cycles end = ev.at + ev.durationCycles;
+            for (size_t j = i + 1; j < trace_.size(); ++j) {
+                if (trace_[j].kind == FaultKind::Repair &&
+                    trace_[j].board == ev.board) {
+                    end = std::min(end, trace_[j].at);
+                    break;
+                }
+            }
+            board_down[ev.board].push_back(Interval{ev.at, end});
+            break;
+          }
+          case FaultKind::Repair:
+            if (ev.board >= topo_.numBoards)
+                fatal("repair event addresses board %u of a %u-board "
+                      "fleet", ev.board, topo_.numBoards);
+            break;
+          case FaultKind::CoreStall:
+          case FaultKind::TransientMmio:
+          case FaultKind::TransientDma:
+            if (ev.core >= topo_.totalCores())
+                fatal("fault event addresses core %u of a %u-core "
+                      "fleet", ev.core, topo_.totalCores());
+            break;
+        }
+    }
+
+    // Merge per-core stalls with the owning board's loss intervals.
+    for (CoreId c = 0; c < topo_.totalCores(); ++c) {
+        std::vector<Interval> raw = board_down[topo_.boardOf(c)];
+        for (const FaultEvent &ev : trace_)
+            if (ev.kind == FaultKind::CoreStall && ev.core == c)
+                raw.push_back(
+                    Interval{ev.at, ev.at + ev.durationCycles});
+        std::sort(raw.begin(), raw.end(),
+                  [](const Interval &a, const Interval &b) {
+                      return a.from < b.from ||
+                             (a.from == b.from && a.to < b.to);
+                  });
+        std::vector<Interval> &merged = down_[c];
+        for (const Interval &iv : raw) {
+            if (iv.to <= iv.from)
+                continue;
+            if (!merged.empty() && iv.from <= merged.back().to)
+                merged.back().to = std::max(merged.back().to, iv.to);
+            else
+                merged.push_back(iv);
+        }
+    }
+
+    // Transient events, dropped while the core is down.
+    for (const FaultEvent &ev : trace_) {
+        if (ev.kind != FaultKind::TransientMmio &&
+            ev.kind != FaultKind::TransientDma)
+            continue;
+        if (downAt(ev.core, ev.at))
+            continue;
+        transients_[ev.core].emplace_back(ev.at, ev.durationCycles);
+    }
+}
+
+const std::vector<FaultTimeline::Interval> &
+FaultTimeline::intervalsOf(CoreId core) const
+{
+    NEU10_ASSERT(core < down_.size(), "bad core id %u", core);
+    return down_[core];
+}
+
+Cycles
+FaultTimeline::fatalOnset(CoreId core, Cycles from, Cycles to) const
+{
+    for (const Interval &iv : intervalsOf(core))
+        if (iv.from >= from && iv.from < to)
+            return iv.from;
+    return kCyclesInf;
+}
+
+bool
+FaultTimeline::downAt(CoreId core, Cycles t) const
+{
+    for (const Interval &iv : intervalsOf(core)) {
+        if (iv.from > t)
+            break;
+        if (t < iv.to)
+            return true;
+    }
+    return false;
+}
+
+Cycles
+FaultTimeline::upAgainAt(CoreId core, Cycles t) const
+{
+    Cycles up = t;
+    for (const Interval &iv : intervalsOf(core)) {
+        if (iv.from > up)
+            break;
+        if (up < iv.to)
+            up = iv.to;
+    }
+    return up;
+}
+
+Cycles
+FaultTimeline::downCycles(CoreId core, Cycles from, Cycles to) const
+{
+    Cycles total = 0.0;
+    for (const Interval &iv : intervalsOf(core)) {
+        const Cycles lo = std::max(from, iv.from);
+        const Cycles hi = std::min(to, iv.to);
+        if (hi > lo)
+            total += hi - lo;
+    }
+    return total;
+}
+
+Cycles
+FaultTimeline::transientStall(CoreId core, Cycles from, Cycles to) const
+{
+    NEU10_ASSERT(core < transients_.size(), "bad core id %u", core);
+    Cycles total = 0.0;
+    for (const auto &[at, stall] : transients_[core])
+        if (at >= from && at < to)
+            total += stall;
+    return total;
+}
+
+unsigned
+FaultTimeline::transientCount(CoreId core, Cycles from, Cycles to) const
+{
+    NEU10_ASSERT(core < transients_.size(), "bad core id %u", core);
+    unsigned n = 0;
+    for (const auto &[at, stall] : transients_[core])
+        if (at >= from && at < to)
+            ++n;
+    return n;
+}
+
+} // namespace neu10

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Seeded fault injection for fleet-scale resilience experiments.
+ *
+ * TPU-scale deployments treat chip and board loss as routine (Jouppi
+ * et al., ISCA'17): a serving fleet that reports SLO numbers over a
+ * failure-free horizon overstates every one of them. This module
+ * synthesizes deterministic *failure traces* against a fleet topology
+ * so the cluster engine (cluster/fleet) can rehearse hardware faults
+ * the way cluster/traffic rehearses request streams:
+ *
+ *  - TransientMmio / TransientDma: a control-register access or DMA
+ *    transfer fails once and is retried; the affected core stalls for
+ *    the event's (short) duration but no state is lost. Models ECC
+ *    hiccups, link CRC retries, dropped doorbells.
+ *  - CoreStall: one physical core wedges (clock-gated, firmware hang)
+ *    and is out for the event's duration, then returns healed. Every
+ *    vNPU resident there loses its device-side context.
+ *  - BoardLoss: a whole board drops off the fabric (power trip, PCIe
+ *    surprise-removal) taking all of its cores down; a later Repair
+ *    event — or the event's duration elapsing — brings it back.
+ *  - Repair: explicit end of an earlier BoardLoss on the same board
+ *    (hand-written traces; generated traces encode repair through
+ *    durations instead).
+ *
+ * Generation is seeded exactly like cluster/traffic: every stochastic
+ * stream draws from a neu10::Rng sub-seeded per (kind, core-or-board),
+ * so equal (spec, topology, horizon) triples yield bit-identical
+ * traces and adding a board never reshuffles the faults of another.
+ *
+ * FaultTimeline folds a trace into queryable per-core state — down
+ * intervals, earliest fatal fault in a window, summed transient
+ * stalls — which is what the epoch-boundary failover controller
+ * actually consumes.
+ */
+
+#ifndef NEU10_RESILIENCE_FAULTS_HH
+#define NEU10_RESILIENCE_FAULTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace neu10
+{
+
+/** Fault families (see file doc). */
+enum class FaultKind
+{
+    TransientMmio = 0, ///< retried MMIO access, short stall
+    TransientDma,      ///< retried DMA transfer, short stall
+    CoreStall,         ///< one core out for durationCycles
+    BoardLoss,         ///< every core of one board out
+    Repair,            ///< explicit end of a BoardLoss
+};
+
+/** Human-readable kind name ("transient-mmio", ...). */
+std::string faultKindName(FaultKind kind);
+
+/** True for faults that kill device-side vNPU state (core/board). */
+bool faultIsFatal(FaultKind kind);
+
+/** One injected fault. Core-scoped kinds address a fleet-wide core
+ * index; board-scoped kinds (BoardLoss / Repair) address a board. */
+struct FaultEvent
+{
+    Cycles at = 0.0;        ///< injection time, cycles
+    FaultKind kind = FaultKind::TransientMmio;
+
+    /** Fleet-wide core for TransientMmio/TransientDma/CoreStall;
+     * kInvalidCore for board-scoped events. */
+    CoreId core = kInvalidCore;
+
+    /** Board for BoardLoss/Repair; unused for core-scoped events. */
+    unsigned board = 0;
+
+    /** Outage length: stall time for transients and CoreStall, time
+     * to repair for BoardLoss (kCyclesInf = until an explicit Repair
+     * event, or forever). Ignored by Repair. */
+    Cycles durationCycles = 0.0;
+};
+
+/** The board/core shape of the fleet the faults are injected into. */
+struct FleetTopology
+{
+    unsigned numBoards = 1;
+    unsigned coresPerBoard = 4;
+
+    unsigned
+    totalCores() const
+    {
+        return numBoards * coresPerBoard;
+    }
+
+    unsigned
+    boardOf(CoreId core) const
+    {
+        return core / coresPerBoard;
+    }
+};
+
+/** Stochastic fault-trace description. Rates are mean times between
+ * failures in *simulated seconds* per core (or per board); 0 disables
+ * that family. Durations are seconds; generateFaultTrace() converts
+ * to cycles with the clock it is given. */
+struct FaultSpec
+{
+    std::uint64_t seed = 1;
+
+    /** Per-core MTBF of transient MMIO / DMA errors, seconds. */
+    double transientMmioMtbfSec = 0.0;
+    double transientDmaMtbfSec = 0.0;
+
+    /** Stall cost of one transient error, seconds (retry latency);
+     * <= 0 means the retry is free (zero stall). */
+    double transientCostSec = 1e-5;
+
+    /** Per-core MTBF of a core stall, seconds. */
+    double coreStallMtbfSec = 0.0;
+
+    /** Mean core-stall outage, seconds (exponential). */
+    double coreStallMeanSec = 1e-3;
+
+    /** Per-board MTBF of whole-board loss, seconds. */
+    double boardLossMtbfSec = 0.0;
+
+    /** Mean board repair time, seconds (exponential); <= 0 means the
+     * board never comes back within the run. */
+    double boardRepairMeanSec = 0.0;
+};
+
+/**
+ * Generate the fault trace described by @p spec against @p topo over
+ * [0, @p horizon) cycles on a @p freq_hz clock. Deterministic in
+ * (spec, topo, horizon, freq): each (kind, core-or-board) pair draws
+ * from its own sub-seeded Rng. Events are sorted by (time, core,
+ * kind) so downstream iteration is reproducible.
+ */
+std::vector<FaultEvent> generateFaultTrace(const FaultSpec &spec,
+                                           const FleetTopology &topo,
+                                           Cycles horizon,
+                                           double freq_hz);
+
+/**
+ * A fault trace folded into queryable per-core state. Built once per
+ * fleet run; all queries are const and scan the core's merged down
+ * intervals or transient events (fault traces are epoch-scale — a
+ * handful of events per core — so linear scans beat index upkeep).
+ *
+ * Down intervals merge CoreStall outages with the loss intervals of
+ * the core's board (a BoardLoss ends at the earliest of its duration
+ * elapsing or an explicit Repair of that board). Transient events on
+ * a core that is down at that instant are discarded — the core is
+ * not executing anything to stall.
+ */
+class FaultTimeline
+{
+  public:
+    /** Fold @p trace (any order) against @p topo. Events addressing
+     * cores/boards outside the topology throw FatalError. */
+    FaultTimeline(std::vector<FaultEvent> trace,
+                  const FleetTopology &topo);
+
+    /** Earliest fatal fault taking @p core down within [from, to),
+     * or kCyclesInf. Only *onsets* count: a core already down at
+     * @p from reports kCyclesInf (it cannot fail twice). */
+    Cycles fatalOnset(CoreId core, Cycles from, Cycles to) const;
+
+    /** True when @p core is down (stalled or board-lost) at @p t. */
+    bool downAt(CoreId core, Cycles t) const;
+
+    /** First instant >= @p t at which @p core is healthy again
+     * (@p t itself when already healthy; kCyclesInf = never). */
+    Cycles upAgainAt(CoreId core, Cycles t) const;
+
+    /** Cycles of [from, to) during which @p core is down. */
+    Cycles downCycles(CoreId core, Cycles from, Cycles to) const;
+
+    /** Summed stall cost of transient faults hitting @p core within
+     * [from, to) while it is up. */
+    Cycles transientStall(CoreId core, Cycles from, Cycles to) const;
+
+    /** Number of such transient faults. */
+    unsigned transientCount(CoreId core, Cycles from,
+                            Cycles to) const;
+
+    /** The normalized trace (sorted by time, core, kind). */
+    const std::vector<FaultEvent> &events() const { return trace_; }
+
+    const FleetTopology &topology() const { return topo_; }
+
+  private:
+    struct Interval
+    {
+        Cycles from = 0.0;
+        Cycles to = kCyclesInf;
+    };
+
+    const std::vector<Interval> &intervalsOf(CoreId core) const;
+
+    FleetTopology topo_;
+    std::vector<FaultEvent> trace_;
+    /** Per-core merged down intervals, sorted, non-overlapping. */
+    std::vector<std::vector<Interval>> down_;
+    /** Per-core transient events (time, stall), sorted by time. */
+    std::vector<std::vector<std::pair<Cycles, Cycles>>> transients_;
+};
+
+} // namespace neu10
+
+#endif // NEU10_RESILIENCE_FAULTS_HH

@@ -194,8 +194,11 @@ driveOpenLoop(const ServingConfig &config,
                            },
                            EventPriority::Arrival);
         }
+        // Negative stamps (arrivals held through an outage) are
+        // delivered at t = 0 in stream order; the original stamp
+        // still prices their latency and SLO.
         for (Cycles when : ts.arrivals)
-            queue.schedule(when,
+            queue.schedule(std::max(0.0, when),
                            [&, i, when](Cycles) {
                                on_arrival(i, when);
                            },

@@ -61,7 +61,11 @@ struct TenantSpec
     // --- open-loop fields (ServingMode::OpenLoop only) -------------
     /** Request arrival times in cycles (simulated core-clock cycles,
      * like every time quantity here), non-decreasing, relative to
-     * this run's t = 0. */
+     * this run's t = 0. Negative stamps are allowed: they model
+     * requests that arrived while the tenant's vNPU was down (an
+     * outage in an earlier epoch) and are delivered — through normal
+     * admission control — at t = 0, keeping the original stamp so
+     * the outage wait counts against latency and the SLO. */
     std::vector<Cycles> arrivals;
 
     /**
@@ -178,6 +182,32 @@ struct TenantResult
      * when the run stopped at ServingConfig::stopAtCycles; sorted
      * non-decreasing. Empty when the run drained. */
     std::vector<Cycles> backlog;
+
+    // --- resilience accounting (filled by the fleet's failover
+    // --- controller; zero in a plain serving run) ------------------
+    /** Requests permanently dropped by a hardware failure: admitted
+     * work whose vNPU died unrestorably, plus arrivals while dead.
+     * Also counted in @ref rejected so request conservation
+     * (completed + rejected == submitted) holds. */
+    std::uint64_t lostRequests = 0;
+
+    /** Requests given a (late) chance at service by a failover
+     * restore: the checkpointed admitted backlog plus arrivals held
+     * through the outage, re-entering on the new core with original
+     * stamps. Held arrivals still pass admission on re-delivery, so
+     * a burst exceeding maxQueueDepth is partly shed — those drops
+     * count as @ref rejected, not as @ref lostRequests. Counted per
+     * restore event: a request still unserved when its *new* core
+     * also fails is carried (and counted) again. */
+    std::uint64_t recoveredRequests = 0;
+
+    /** Completed failovers (vNPU restored onto a surviving core). */
+    unsigned failovers = 0;
+
+    /** Cycles this tenant had no usable vNPU: fault onset until the
+     * restored instance may submit again (restore boundary plus the
+     * recovery stall), or until the horizon when never restored. */
+    Cycles downtimeCycles = 0.0;
 
     /** Per-request operator timings (captureOpTimings). */
     std::vector<std::vector<OpTiming>> opTimings;

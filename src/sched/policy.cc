@@ -33,8 +33,11 @@ policyFromName(const std::string &name)
         return PolicyKind::V10;
     if (low == "pmt")
         return PolicyKind::Pmt;
-    fatal("unknown scheduling policy '%s' (want neu10, neu10-nh, "
-          "v10 or pmt)", name.c_str());
+    // Never fall back silently: a bench CLI typo must fail loudly
+    // with the full accepted vocabulary, not run the default design.
+    fatal("unknown scheduling policy '%s'; valid names are 'neu10', "
+          "'neu10-nh' (aliases 'neu10nh', 'nh'), 'v10' and 'pmt' "
+          "(case-insensitive)", name.c_str());
 }
 
 std::unique_ptr<SchedulerPolicy>

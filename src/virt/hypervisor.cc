@@ -52,16 +52,53 @@ Hypervisor::hcConfigureVnpu(TenantId tenant, VnpuId id,
 }
 
 void
+Hypervisor::recycleMmio(VnpuId id)
+{
+    const auto it = mmio_.find(id);
+    if (it == mmio_.end())
+        return;
+    // A window must never sit on the free list twice: the second
+    // create reusing it would alias another live vNPU's BAR. The
+    // live map and the free list are disjoint by construction; this
+    // guards the invariant against any future bulk-teardown path
+    // that re-walks stale resident lists.
+    for (const MmioRegion &r : freeMmio_)
+        NEU10_ASSERT(r.base != it->second.base,
+                     "MMIO window %#llx double-recycled",
+                     static_cast<unsigned long long>(r.base));
+    freeMmio_.push_back(it->second);
+    mmio_.erase(it);
+}
+
+void
+Hypervisor::teardown(VnpuId id)
+{
+    iommu_.detach(id);
+    recycleMmio(id);
+    manager_.destroy(id);
+}
+
+void
 Hypervisor::hcDestroyVnpu(TenantId tenant, VnpuId id)
 {
     checkOwner(tenant, id);
-    iommu_.detach(id);
-    const auto it = mmio_.find(id);
-    if (it != mmio_.end()) {
-        freeMmio_.push_back(it->second);
-        mmio_.erase(it);
+    teardown(id);
+}
+
+std::vector<Hypervisor::Revoked>
+Hypervisor::hcRevokeCore(CoreId core)
+{
+    // Snapshot the resident list first: teardown() mutates it via
+    // the manager, and destroying while iterating the live list is
+    // exactly the double-recycle hazard recycleMmio() guards.
+    const std::vector<VnpuId> residents = manager_.residentsOf(core);
+    std::vector<Revoked> revoked;
+    revoked.reserve(residents.size());
+    for (VnpuId id : residents) {
+        revoked.push_back(Revoked{manager_.get(id).tenant, id});
+        teardown(id);
     }
-    manager_.destroy(id);
+    return revoked;
 }
 
 MmioRegion

@@ -60,6 +60,27 @@ class Hypervisor
     /** Hypercall 3: deallocate; removes DMA setup and the context. */
     void hcDestroyVnpu(TenantId tenant, VnpuId id);
 
+    /** One vNPU torn down by a host-side core revocation. */
+    struct Revoked
+    {
+        TenantId tenant = 0;
+        VnpuId id = kInvalidVnpu;
+    };
+
+    /**
+     * Host-initiated bulk teardown: destroy every vNPU resident on
+     * @p core, detaching DMA and recycling each MMIO window exactly
+     * once. This is the failover path — when hardware faults kill a
+     * core, the *host* revokes the residents regardless of tenant
+     * ownership (there is no guest to consent), so unlike the
+     * hypercalls this performs no ownership check. Idempotent: a
+     * second revocation of the same core finds no residents and
+     * returns empty.
+     *
+     * @return the (tenant, id) pairs destroyed, in creation order.
+     */
+    std::vector<Revoked> hcRevokeCore(CoreId core);
+
     /** The vNPU's control-register window (hypervisor-bypass path). */
     MmioRegion mmioRegion(VnpuId id) const;
 
@@ -69,6 +90,8 @@ class Hypervisor
 
   private:
     void checkOwner(TenantId tenant, VnpuId id) const;
+    void teardown(VnpuId id);
+    void recycleMmio(VnpuId id);
 
     VnpuManager manager_;
     Iommu iommu_;

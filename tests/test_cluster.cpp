@@ -259,6 +259,28 @@ TEST(Placement, NamesRoundTrip)
     EXPECT_THROW(placementFromName("worst-fit"), FatalError);
 }
 
+TEST(PolicyNames, RoundTripAliasesAndDescriptiveError)
+{
+    for (auto k : {PolicyKind::Neu10, PolicyKind::Neu10NH,
+                   PolicyKind::V10, PolicyKind::Pmt})
+        EXPECT_EQ(policyFromName(policyName(k)), k);
+    EXPECT_EQ(policyFromName("NEU10"), PolicyKind::Neu10);
+    EXPECT_EQ(policyFromName("neu10nh"), PolicyKind::Neu10NH);
+    EXPECT_EQ(policyFromName("nh"), PolicyKind::Neu10NH);
+    // An unknown policy string must fail loudly with the accepted
+    // vocabulary, never silently fall back to a default design.
+    try {
+        policyFromName("round-robin");
+        FAIL() << "unknown policy name was accepted";
+    } catch (const FatalError &err) {
+        const std::string msg = err.what();
+        EXPECT_NE(msg.find("round-robin"), std::string::npos);
+        for (const char *want : {"neu10", "neu10-nh", "v10", "pmt"})
+            EXPECT_NE(msg.find(want), std::string::npos)
+                << "error message does not list '" << want << "'";
+    }
+}
+
 TEST(Placement, CommitReleaseRoundTrip)
 {
     FleetPlacer placer(2, NpuCoreConfig{});
@@ -276,6 +298,54 @@ TEST(Placement, CommitReleaseRoundTrip)
     EXPECT_EQ(placer.cores()[1].freeMes, 4u);
     EXPECT_EQ(placer.cores()[1].residents, 0u);
     EXPECT_DOUBLE_EQ(placer.cores()[1].load, 0.0);
+}
+
+TEST(Placement, QuarantineBlocksPlacementUntilRepaired)
+{
+    FleetPlacer placer(2, NpuCoreConfig{});
+    const PlacementRequest r = req(2, 2, 4_GiB, 0.4);
+    placer.setQuarantined(0, true);
+    EXPECT_TRUE(placer.quarantined(0));
+    EXPECT_FALSE(placer.canHost(0, r));
+    EXPECT_FALSE(placer.commit(0, r));
+    // Every policy routes around the quarantined core.
+    for (auto policy :
+         {PlacementPolicy::FirstFit, PlacementPolicy::BestFit,
+          PlacementPolicy::LoadBalanced}) {
+        FleetPlacer p(2, NpuCoreConfig{});
+        p.setQuarantined(0, true);
+        EXPECT_EQ(p.place(r, policy), 1u) << placementName(policy);
+    }
+    // Repair restores full placement eligibility.
+    placer.setQuarantined(0, false);
+    EXPECT_TRUE(placer.canHost(0, r));
+    EXPECT_EQ(placer.place(r, PlacementPolicy::FirstFit), 0u);
+}
+
+TEST(Placement, ReleaseAfterFailureRoundTripsCapacity)
+{
+    // The failover eviction order: quarantine the dead core first,
+    // then release each resident. The books must round-trip to full
+    // capacity so a repaired core hosts exactly what it could before.
+    FleetPlacer placer(2, NpuCoreConfig{});
+    const PlacementRequest a = req(2, 2, 8_GiB, 0.5);
+    const PlacementRequest b = req(2, 1, 4_GiB, 0.3);
+    ASSERT_TRUE(placer.commit(0, a));
+    ASSERT_TRUE(placer.commit(0, b));
+    placer.setQuarantined(0, true);
+    placer.release(0, a);
+    placer.release(0, b);
+    EXPECT_EQ(placer.cores()[0].residents, 0u);
+    EXPECT_EQ(placer.cores()[0].freeMes, 4u);
+    EXPECT_EQ(placer.cores()[0].freeVes, 4u);
+    // Load is advisory (sums in release order): FP-dust tolerance.
+    EXPECT_NEAR(placer.cores()[0].load, 0.0, 1e-12);
+    // Still unplaceable while down...
+    EXPECT_FALSE(placer.canHost(0, a));
+    // ...and a full-core request fits again after the repair.
+    placer.setQuarantined(0, false);
+    EXPECT_TRUE(placer.canHost(0, req(4, 4, 32_GiB)));
+    EXPECT_TRUE(placer.commit(0, req(4, 4, 32_GiB)));
 }
 
 // ----------------------------------------------------- rebalance
@@ -369,6 +439,90 @@ TEST(Rebalance, UnfixableHotCoreDoesNotStallOthers)
     EXPECT_NE(moves[0].tenant, 0u);
     EXPECT_EQ(moves[0].from, 1u);
     EXPECT_GE(moves[0].to, 2u);
+}
+
+TEST(Rebalance, QuarantinedCoresNeitherSourceNorTarget)
+{
+    FleetPlacer placer(4, NpuCoreConfig{});
+    // Four tenants stacked on core 0; cores 2 and 3 are down.
+    std::vector<PlacementRequest> demands(4);
+    std::vector<CoreId> where;
+    for (size_t t = 0; t < 4; ++t) {
+        demands[t] = req(1, 1, 1_GiB, 1.0);
+        where.push_back(
+            placer.place(demands[t], PlacementPolicy::FirstFit));
+        ASSERT_EQ(where[t], 0u);
+    }
+    placer.setQuarantined(2, true);
+    placer.setQuarantined(3, true);
+
+    std::vector<double> pressure = {4.0, 0.0, 0.0, 0.0};
+    RebalanceOptions opts;
+    opts.imbalanceThreshold = 0.05;
+    opts.maxMigrations = 4;
+    const auto moves =
+        placer.rebalance(pressure, where, demands, opts);
+    ASSERT_FALSE(moves.empty());
+    for (const Migration &mv : moves) {
+        EXPECT_EQ(mv.from, 0u);
+        EXPECT_EQ(mv.to, 1u); // never the quarantined idle cores
+    }
+    EXPECT_EQ(placer.cores()[2].residents, 0u);
+    EXPECT_EQ(placer.cores()[3].residents, 0u);
+}
+
+TEST(Rebalance, AllAlternativesQuarantinedMakesNoMoves)
+{
+    FleetPlacer placer(3, NpuCoreConfig{});
+    std::vector<PlacementRequest> demands = {req(1, 1, 1_GiB, 2.0),
+                                             req(1, 1, 1_GiB, 2.0)};
+    std::vector<CoreId> where;
+    for (const auto &d : demands)
+        where.push_back(placer.place(d, PlacementPolicy::FirstFit));
+    placer.setQuarantined(1, true);
+    placer.setQuarantined(2, true);
+
+    std::vector<double> pressure = {4.0, 0.0, 0.0};
+    RebalanceOptions opts;
+    opts.imbalanceThreshold = 0.05;
+    opts.maxMigrations = 4;
+    // The only non-quarantined core is the hot one itself: the gap
+    // is zero by construction and nothing may move.
+    EXPECT_TRUE(
+        placer.rebalance(pressure, where, demands, opts).empty());
+}
+
+TEST(Rebalance, FrozenHotCoreFallsBackPastQuarantine)
+{
+    // Variant of the frozen-core fallback with a quarantined core in
+    // the mix: core 0 is hot but unfixable (its single huge tenant
+    // cannot move without inverting the gap), core 1 is second-
+    // hottest and fixable, core 2 is down, core 3 is the only legal
+    // destination.
+    FleetPlacer placer(4, NpuCoreConfig{});
+    std::vector<PlacementRequest> demands = {
+        req(4, 4, 1_GiB, 10.0),
+        req(1, 1, 1_GiB, 3.0),
+        req(1, 1, 1_GiB, 3.0),
+    };
+    std::vector<CoreId> where;
+    for (const auto &d : demands)
+        where.push_back(placer.place(d, PlacementPolicy::FirstFit));
+    ASSERT_EQ(where[0], 0u);
+    ASSERT_EQ(where[1], 1u);
+    ASSERT_EQ(where[2], 1u);
+    placer.setQuarantined(2, true);
+
+    std::vector<double> pressure = {10.0, 6.0, 0.0, 0.0};
+    RebalanceOptions opts;
+    opts.imbalanceThreshold = 0.05;
+    opts.maxMigrations = 4;
+    const auto moves =
+        placer.rebalance(pressure, where, demands, opts);
+    ASSERT_EQ(moves.size(), 1u);
+    EXPECT_NE(moves[0].tenant, 0u);
+    EXPECT_EQ(moves[0].from, 1u);
+    EXPECT_EQ(moves[0].to, 3u);
 }
 
 // ---------------------------------------------- open-loop serving

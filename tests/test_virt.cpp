@@ -7,6 +7,7 @@
  * guest driver command path end-to-end on a simulated core.
  */
 
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include "common/logging.hh"
@@ -355,6 +356,92 @@ TEST(HypervisorTest, MmioApertureBoundedUnderChurn)
         else
             EXPECT_EQ(r.base, first_base) << "generation " << gen;
         hv.hcDestroyVnpu(7, id);
+    }
+}
+
+TEST(HypervisorTest, RevokeCoreTearsDownEveryResidentOnce)
+{
+    // The failover path: a board fault kills core 1, the host
+    // revokes all of its vNPUs in bulk — regardless of owner, with
+    // every MMIO window recycled exactly once.
+    Hypervisor hv(NpuBoardConfig{});
+    std::vector<VnpuId> on_core1;
+    for (TenantId t = 1; t <= 3; ++t)
+        on_core1.push_back(hv.hcCreateVnpu(
+            t, smallVnpu(1, 1, 2_GiB), IsolationMode::Hardware, 1));
+    const VnpuId elsewhere = hv.hcCreateVnpu(
+        9, smallVnpu(1, 1, 2_GiB), IsolationMode::Hardware, 0);
+
+    const auto revoked = hv.hcRevokeCore(1);
+    ASSERT_EQ(revoked.size(), 3u);
+    for (size_t k = 0; k < revoked.size(); ++k) {
+        EXPECT_EQ(revoked[k].id, on_core1[k]);
+        EXPECT_EQ(revoked[k].tenant, static_cast<TenantId>(k + 1));
+        EXPECT_FALSE(hv.iommu().attached(on_core1[k]));
+    }
+    // Only the bystander on core 0 survives.
+    EXPECT_EQ(hv.manager().liveCount(), 1u);
+    EXPECT_TRUE(hv.iommu().attached(elsewhere));
+
+    setLogLevel(LogLevel::Silent);
+    EXPECT_THROW(hv.mmioRegion(on_core1[0]), FatalError);
+    // A destroy of an already-revoked vNPU fails loudly instead of
+    // recycling its window a second time.
+    EXPECT_THROW(hv.hcDestroyVnpu(1, on_core1[0]), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(HypervisorTest, RevokeCoreIsIdempotent)
+{
+    Hypervisor hv(NpuBoardConfig{});
+    hv.hcCreateVnpu(1, smallVnpu(), IsolationMode::Hardware, 2);
+    EXPECT_EQ(hv.hcRevokeCore(2).size(), 1u);
+    // The second revocation finds nothing: no double teardown, no
+    // double window recycling.
+    EXPECT_TRUE(hv.hcRevokeCore(2).empty());
+    EXPECT_EQ(hv.manager().liveCount(), 0u);
+}
+
+TEST(HypervisorTest, BulkRevokeNeverDoubleRecyclesWindows)
+{
+    // Regression for the failover teardown path: after a bulk
+    // revocation, re-creating the same population must reuse each
+    // recycled window exactly once — pairwise-disjoint BARs and a
+    // bounded aperture prove no window sat on the free list twice.
+    Hypervisor hv(NpuBoardConfig{});
+    std::vector<MmioRegion> before;
+    std::vector<VnpuId> ids;
+    for (TenantId t = 1; t <= 4; ++t)
+        ids.push_back(hv.hcCreateVnpu(
+            t, smallVnpu(1, 1, 2_GiB), IsolationMode::Hardware, 3));
+    for (VnpuId id : ids)
+        before.push_back(hv.mmioRegion(id));
+
+    for (int round = 0; round < 5; ++round) {
+        ASSERT_EQ(hv.hcRevokeCore(3).size(), 4u);
+        ids.clear();
+        for (TenantId t = 1; t <= 4; ++t)
+            ids.push_back(
+                hv.hcCreateVnpu(t, smallVnpu(1, 1, 2_GiB),
+                                IsolationMode::Hardware, 3));
+        std::uint64_t max_base = 0;
+        for (size_t i = 0; i < ids.size(); ++i) {
+            const MmioRegion a = hv.mmioRegion(ids[i]);
+            max_base = std::max(max_base, a.base);
+            for (size_t j = i + 1; j < ids.size(); ++j) {
+                const MmioRegion b = hv.mmioRegion(ids[j]);
+                EXPECT_TRUE(a.base + a.size <= b.base ||
+                            b.base + b.size <= a.base)
+                    << "round " << round << ": windows " << i
+                    << " and " << j << " overlap";
+            }
+        }
+        // Aperture bounded: every window comes from the original
+        // four, never freshly carved.
+        std::uint64_t max_before = 0;
+        for (const MmioRegion &r : before)
+            max_before = std::max(max_before, r.base);
+        EXPECT_LE(max_base, max_before) << "round " << round;
     }
 }
 
