@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Engine performance harness: event-driven fast-forward vs the
+ * per-cycle reference (sim/engine.hh), timed on canonical scenarios
+ * and recorded machine-readably.
+ *
+ * Three scenarios run under both engines on one host thread:
+ *
+ *  - fleet_4board   the canonical 4-board x 4-core fleet (16 cores,
+ *                   24 mixed tenants, Poisson, 4 elastic epochs) —
+ *                   the acceptance scenario: the fast-forward engine
+ *                   must simulate cycles >= 5x faster than the
+ *                   per-cycle reference here.
+ *  - open_loop_core one core, four open-loop tenants at moderate
+ *                   load — long idle/stall spans, the fast-forward
+ *                   sweet spot.
+ *  - closed_loop    one core, two closed-loop tenants (§V-A style) —
+ *                   event-dense, the fast-forward worst case.
+ *
+ * Every row cross-checks that both engines produced bit-identical
+ * summaries (the exhaustive check lives in tests/test_perf_engine).
+ * Results go to stdout and to BENCH_PERF.json (schema documented in
+ * docs/BENCHMARKS.md; override the path with --json=FILE or
+ * NEU10_BENCH_JSON). tools/bench_compare.py diffs two such files,
+ * and CI uploads the smoke-mode JSON as the per-commit perf record.
+ *
+ * Usage: bench_perf_engine [--json=FILE]
+ * NEU10_SEED=<n> reseeds the traffic; NEU10_SMOKE=1 shrinks horizons.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "cluster/fleet.hh"
+#include "common/threadpool.hh"
+#include "sim/engine.hh"
+#include "vnpu/allocator.hh"
+
+using namespace neu10;
+
+namespace
+{
+
+/** One engine's measurement on one scenario. */
+struct EngineRun
+{
+    double wallSeconds = 0.0;
+    double cyclesSimulated = 0.0; ///< sum of per-core windows
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    double p99 = 0.0;
+    double makespan = 0.0;
+    double latencySum = 0.0;
+    std::uint64_t latencyCount = 0;
+
+    double
+    cyclesPerSecond() const
+    {
+        return wallSeconds > 0.0 ? cyclesSimulated / wallSeconds
+                                 : 0.0;
+    }
+};
+
+/** One scenario's A/B outcome. */
+struct ScenarioResult
+{
+    std::string name;
+    EngineRun fast; ///< SimEngine::EventDriven
+    EngineRun ref;  ///< SimEngine::PerCycle
+    bool bitIdentical = false;
+
+    double
+    speedup() const
+    {
+        return fast.wallSeconds > 0.0
+                   ? ref.wallSeconds / fast.wallSeconds
+                   : 0.0;
+    }
+};
+
+ClusterTenantSpec
+makeTenant(unsigned k, double rho, std::uint64_t seed,
+           const NpuCoreConfig &core)
+{
+    // Same mixed-service flavor as bench_fleet_scaling: two ME-heavy
+    // and two VE-heavy models.
+    static const ModelId kModels[4] = {ModelId::Mnist, ModelId::Ncf,
+                                       ModelId::Dlrm, ModelId::ResNet};
+    static const unsigned kBatches[4] = {32, 32, 32, 8};
+    static const unsigned kEus[4] = {2, 4, 4, 6};
+    const unsigned m = k % 4;
+    const Cycles service =
+        sizeVnpuForModel(kModels[m], kBatches[m], kEus[m], core)
+            .serviceEstimate();
+    ClusterTenantSpec t;
+    t.model = kModels[m];
+    t.batch = kBatches[m];
+    t.eus = kEus[m];
+    t.traffic.ratePerSec = rho * core.freqHz / service;
+    t.traffic.seed = seed;
+    t.sloCycles = 5.0 * service;
+    t.maxQueueDepth = 32;
+    return t;
+}
+
+template <typename Fn>
+double
+wallSeconds(Fn &&fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+EngineRun
+measureFleet(FleetConfig cfg, SimEngine engine, unsigned reps)
+{
+    cfg.engine = engine;
+    EngineRun run;
+    run.wallSeconds = 1e300;
+    FleetResult r;
+    for (unsigned i = 0; i < reps; ++i)
+        run.wallSeconds = std::min(
+            run.wallSeconds, wallSeconds([&] { r = runFleet(cfg); }));
+    for (const FleetCoreReport &c : r.cores)
+        run.cyclesSimulated += c.makespan;
+    run.completed = r.completed;
+    run.rejected = r.rejected;
+    run.p99 = r.p99();
+    run.makespan = r.makespan;
+    run.latencySum = r.latencyCycles.sum();
+    run.latencyCount = r.latencyCycles.count();
+    return run;
+}
+
+EngineRun
+measureServing(ServingConfig cfg, SimEngine engine, unsigned reps)
+{
+    cfg.engine = engine;
+    EngineRun run;
+    run.wallSeconds = 1e300;
+    ServingResult r;
+    for (unsigned i = 0; i < reps; ++i)
+        run.wallSeconds = std::min(
+            run.wallSeconds,
+            wallSeconds([&] { r = runServing(cfg); }));
+    run.cyclesSimulated = r.makespan;
+    for (const TenantResult &t : r.tenants) {
+        run.completed += t.completed;
+        run.rejected += t.rejected;
+        run.latencySum += t.latencyCycles.sum();
+        run.latencyCount += t.latencyCycles.count();
+        run.p99 = std::max(run.p99, t.p99());
+    }
+    run.makespan = r.makespan;
+    return run;
+}
+
+bool
+sameResults(const EngineRun &a, const EngineRun &b)
+{
+    return a.completed == b.completed && a.rejected == b.rejected &&
+           a.p99 == b.p99 && a.makespan == b.makespan &&
+           a.latencySum == b.latencySum &&
+           a.latencyCount == b.latencyCount &&
+           a.cyclesSimulated == b.cyclesSimulated;
+}
+
+/** The acceptance scenario: 4 boards x 4 cores, 24 mixed tenants,
+ * moderate Poisson load, 4 elastic epochs. */
+FleetConfig
+canonicalFleet(Cycles horizon, std::uint64_t seed)
+{
+    FleetConfig cfg;
+    cfg.numBoards = 4; // x (2 chips x 2 cores) = 16 cores
+    cfg.placement = PlacementPolicy::LoadBalanced;
+    cfg.horizon = horizon;
+    cfg.maxCycles = 50.0 * horizon;
+    cfg.threads = 1; // one host thread: a fair single-engine timing
+    cfg.elastic.epochs = 4;
+    for (unsigned i = 0; i < 24; ++i)
+        cfg.tenants.push_back(
+            makeTenant(i, 0.35, seed + i, cfg.board.core));
+    return cfg;
+}
+
+ServingConfig
+openLoopCore(Cycles horizon, std::uint64_t seed)
+{
+    ServingConfig cfg;
+    cfg.mode = ServingMode::OpenLoop;
+    cfg.policy = PolicyKind::Neu10;
+    for (unsigned i = 0; i < 4; ++i) {
+        const ClusterTenantSpec ct =
+            makeTenant(i, 0.2, seed + 100 + i, cfg.core);
+        const VnpuSizing sizing = sizeVnpuForModel(
+            ct.model, ct.batch, ct.eus, cfg.core);
+        TenantSpec ts;
+        ts.model = ct.model;
+        ts.batch = ct.batch;
+        ts.nMes = std::max(1u, sizing.config.numMesPerCore / 2);
+        ts.nVes = std::max(1u, sizing.config.numVesPerCore / 2);
+        ts.arrivals = generateArrivals(ct.traffic, horizon,
+                                       cfg.core.freqHz);
+        ts.maxQueueDepth = 32;
+        ts.sloCycles = ct.sloCycles;
+        cfg.tenants.push_back(ts);
+    }
+    return cfg;
+}
+
+ServingConfig
+closedLoopCore(unsigned min_requests)
+{
+    ServingConfig cfg;
+    cfg.policy = PolicyKind::Neu10;
+    cfg.minRequests = min_requests;
+    cfg.tenants = {TenantSpec{ModelId::Bert, 32, 2, 2},
+                   TenantSpec{ModelId::EfficientNet, 32, 2, 2}};
+    return cfg;
+}
+
+void
+writeJson(const char *path, const std::vector<ScenarioResult> &rows,
+          std::uint64_t seed, bool smoke, double min_speedup)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "error: cannot write %s\n", path);
+        std::exit(2);
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"bench_perf_engine\",\n");
+    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(seed));
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"host_threads\": %u,\n",
+                 ThreadPool::defaultThreads());
+    std::fprintf(f, "  \"min_speedup_required\": %.1f,\n",
+                 min_speedup);
+    std::fprintf(f, "  \"scenarios\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const ScenarioResult &s = rows[i];
+        auto engine = [&](const char *name, const EngineRun &e,
+                          const char *tail) {
+            std::fprintf(
+                f,
+                "      \"%s\": {\"wall_seconds\": %.6f, "
+                "\"cycles_simulated\": %.0f, "
+                "\"cycles_per_second\": %.0f, "
+                "\"completed\": %llu}%s\n",
+                name, e.wallSeconds, e.cyclesSimulated,
+                e.cyclesPerSecond(),
+                static_cast<unsigned long long>(e.completed), tail);
+        };
+        std::fprintf(f, "    {\"name\": \"%s\",\n",
+                     s.name.c_str());
+        std::fprintf(f, "     \"engines\": {\n");
+        engine("event_driven", s.fast, ",");
+        engine("per_cycle", s.ref, "");
+        std::fprintf(f, "     },\n");
+        std::fprintf(f, "     \"speedup\": %.3f,\n", s.speedup());
+        std::fprintf(f, "     \"bit_identical\": %s}%s\n",
+                     s.bitIdentical ? "true" : "false",
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = "BENCH_PERF.json";
+    if (const char *env = std::getenv("NEU10_BENCH_JSON");
+        env != nullptr && env[0] != '\0') {
+        json_path = env;
+    }
+    for (int a = 1; a < argc; ++a) {
+        if (std::strncmp(argv[a], "--json=", 7) == 0) {
+            json_path = argv[a] + 7;
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_perf_engine [--json=FILE]\n");
+            return 2;
+        }
+    }
+
+    const bool smoke = bench::smokeMode();
+    const std::uint64_t seed = bench::benchSeed(42);
+    const double min_speedup = 5.0;
+    // The per-cycle reference walks every simulated cycle, so the
+    // horizons here bound its wall time, not the fast engine's.
+    const Cycles fleet_horizon = smoke ? 4e6 : 1.6e7;
+    const Cycles core_horizon = smoke ? 4e6 : 3.2e7;
+    const unsigned fast_reps = smoke ? 2 : 3;
+
+    bench::header(
+        "Engine perf",
+        csprintf("event-driven fast-forward vs per-cycle reference "
+                 "(seed %llu)",
+                 static_cast<unsigned long long>(seed)));
+
+    std::vector<ScenarioResult> rows;
+    {
+        ScenarioResult s;
+        s.name = "fleet_4board";
+        const FleetConfig cfg = canonicalFleet(fleet_horizon, seed);
+        s.fast = measureFleet(cfg, SimEngine::EventDriven, fast_reps);
+        s.ref = measureFleet(cfg, SimEngine::PerCycle, 1);
+        s.bitIdentical = sameResults(s.fast, s.ref);
+        rows.push_back(s);
+    }
+    {
+        ScenarioResult s;
+        s.name = "open_loop_core";
+        const ServingConfig cfg = openLoopCore(core_horizon, seed);
+        s.fast =
+            measureServing(cfg, SimEngine::EventDriven, fast_reps);
+        s.ref = measureServing(cfg, SimEngine::PerCycle, 1);
+        s.bitIdentical = sameResults(s.fast, s.ref);
+        rows.push_back(s);
+    }
+    {
+        ScenarioResult s;
+        s.name = "closed_loop";
+        const ServingConfig cfg = closedLoopCore(smoke ? 8 : 20);
+        s.fast =
+            measureServing(cfg, SimEngine::EventDriven, fast_reps);
+        s.ref = measureServing(cfg, SimEngine::PerCycle, 1);
+        s.bitIdentical = sameResults(s.fast, s.ref);
+        rows.push_back(s);
+    }
+
+    std::printf("%-16s %12s %12s %14s %14s %8s %8s\n", "scenario",
+                "ff wall (s)", "ref wall (s)", "ff Mcyc/s",
+                "ref Mcyc/s", "speedup", "match");
+    bench::rule();
+    for (const ScenarioResult &s : rows)
+        std::printf("%-16s %12.4f %12.4f %14.1f %14.1f %7.1fx %8s\n",
+                    s.name.c_str(), s.fast.wallSeconds,
+                    s.ref.wallSeconds,
+                    s.fast.cyclesPerSecond() / 1e6,
+                    s.ref.cyclesPerSecond() / 1e6, s.speedup(),
+                    s.bitIdentical ? "bit-eq" : "MISMATCH");
+
+    writeJson(json_path.c_str(), rows, seed, smoke, min_speedup);
+    std::printf("\nwrote %s\n", json_path.c_str());
+
+    const ScenarioResult &canon = rows.front();
+    const bool pass =
+        canon.speedup() >= min_speedup && canon.bitIdentical;
+    std::printf("\nShape check: the event-driven engine simulates "
+                "%.1f Mcycles/s vs the per-cycle reference's %.1f "
+                "Mcycles/s on the canonical 4-board fleet — %.1fx "
+                "speedup (>= %.0fx required), results %s: %s.\n",
+                canon.fast.cyclesPerSecond() / 1e6,
+                canon.ref.cyclesPerSecond() / 1e6, canon.speedup(),
+                min_speedup,
+                canon.bitIdentical ? "bit-identical" : "DIVERGED",
+                pass ? "PASS" : "FAIL");
+    return pass ? 0 : 1;
+}

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hh"
+#include "common/logging.hh"
 #include "common/strings.hh"
 #include "sim/clock.hh"
 
@@ -24,18 +26,33 @@ namespace neu10
 namespace bench
 {
 
+/** Exit(2) on a user-level env/CLI error — bench binaries have no
+ * one above them to catch FatalError usefully. fatal() already
+ * printed the message at the default log level; repeat it only when
+ * logging was silenced so the reason is never lost. */
+[[noreturn]] inline void
+usageError(const FatalError &err)
+{
+    if (logLevel() < LogLevel::Warn)
+        std::fprintf(stderr, "error: %s\n", err.what());
+    std::exit(2);
+}
+
 /**
- * True when NEU10_SMOKE is set to anything but "0": CI smoke runs
- * (the `smoke` CTest label) shrink the sweeps so every bench binary
- * finishes in a couple of seconds while still exercising the full
- * code path at least once.
+ * True when NEU10_SMOKE is set truthy (common/env grammar): CI smoke
+ * runs (the `smoke` CTest label) shrink the sweeps so every bench
+ * binary finishes in a couple of seconds while still exercising the
+ * full code path at least once. A malformed value exits with a clear
+ * error instead of silently running the multi-minute full sweep.
  */
 inline bool
 smokeMode()
 {
-    const char *v = std::getenv("NEU10_SMOKE");
-    return v != nullptr && v[0] != '\0' &&
-           !(v[0] == '0' && v[1] == '\0');
+    try {
+        return envFlag("NEU10_SMOKE", false);
+    } catch (const FatalError &err) {
+        usageError(err);
+    }
 }
 
 /** In smoke mode keep only the first @p keep entries of a sweep. */
@@ -51,24 +68,19 @@ smokeTrim(std::vector<T> v, std::size_t keep = 2)
 /**
  * Rng seed for stochastic benches: NEU10_SEED=<n> overrides the
  * compiled-in default so bench and smoke runs are reproducible (or
- * deliberately varied) without recompiling. Parsed as base-10/0x...;
- * an unparsable value falls back to @p fallback.
+ * deliberately varied) without recompiling. Parsed as base-10/0x...
+ * by common/env; a non-numeric, signed, or overflowing value exits
+ * with a clear error — a silently defaulted seed would record an
+ * irreproducible experiment.
  */
 inline std::uint64_t
 benchSeed(std::uint64_t fallback = 42)
 {
-    const char *v = std::getenv("NEU10_SEED");
-    if (v == nullptr || v[0] == '\0')
-        return fallback;
-    char *end = nullptr;
-    const unsigned long long parsed = std::strtoull(v, &end, 0);
-    if (end == v || *end != '\0') {
-        std::fprintf(stderr, "NEU10_SEED='%s' is not a number; using "
-                             "%llu\n",
-                     v, static_cast<unsigned long long>(fallback));
-        return fallback;
+    try {
+        return envUint64("NEU10_SEED", fallback);
+    } catch (const FatalError &err) {
+        usageError(err);
     }
-    return parsed;
 }
 
 /** Print the bench banner. */

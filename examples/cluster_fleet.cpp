@@ -13,6 +13,8 @@
 #include <cstdio>
 
 #include "cluster/fleet.hh"
+#include "common/env.hh"
+#include "common/logging.hh"
 #include "sim/clock.hh"
 #include "vnpu/allocator.hh"
 
@@ -22,11 +24,12 @@ int
 main()
 {
     const Clock clock;
-    const bool smoke = []() {
-        const char *v = std::getenv("NEU10_SMOKE");
-        return v != nullptr && v[0] != '\0' &&
-               !(v[0] == '0' && v[1] == '\0');
-    }();
+    bool smoke = false;
+    try {
+        smoke = envFlag("NEU10_SMOKE", false);
+    } catch (const FatalError &) {
+        return 2; // fatal() already printed the reason
+    }
 
     FleetConfig cfg;
     cfg.numBoards = 2; // x 4 cores per board

@@ -20,6 +20,8 @@
 #include <cstdlib>
 
 #include "cluster/fleet.hh"
+#include "common/env.hh"
+#include "common/logging.hh"
 #include "sim/clock.hh"
 #include "vnpu/allocator.hh"
 
@@ -65,11 +67,12 @@ int
 main()
 {
     const Clock clock;
-    const bool smoke = []() {
-        const char *v = std::getenv("NEU10_SMOKE");
-        return v != nullptr && v[0] != '\0' &&
-               !(v[0] == '0' && v[1] == '\0');
-    }();
+    bool smoke = false;
+    try {
+        smoke = envFlag("NEU10_SMOKE", false);
+    } catch (const FatalError &) {
+        return 2; // fatal() already printed the reason
+    }
     const Cycles horizon = smoke ? 6e6 : 3e7;
 
     const FleetResult stat = runFleet(scenario(1, horizon));

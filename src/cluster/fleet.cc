@@ -243,6 +243,7 @@ runFleet(const FleetConfig &config)
             sc.core = core_cfg;
             sc.policy = config.corePolicy;
             sc.mode = ServingMode::OpenLoop;
+            sc.engine = config.engine;
             sc.maxCycles = config.maxCycles;
             sc.stopAtCycles =
                 faulted ? fatal_abs[c] - start

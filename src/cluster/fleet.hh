@@ -166,6 +166,12 @@ struct FleetConfig
      * bit-identical for every value. */
     unsigned threads = 1;
 
+    /** Execution engine for every per-core simulation
+     * (sim/engine.hh): the fast-forward default or the per-cycle
+     * reference. Fleet results are bit-identical across engines;
+     * bench_perf_engine records the wall-clock gap. */
+    SimEngine engine = SimEngine::EventDriven;
+
     ElasticConfig elastic;
 
     ResilienceConfig resilience;

@@ -1,0 +1,75 @@
+#include "common/env.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace neu10
+{
+
+std::uint64_t
+parseUint64(const std::string &text, const char *what)
+{
+    if (text.empty())
+        fatal("%s is empty; want a non-negative integer (base 10 or "
+              "0x... hex)", what);
+    // strtoull happily accepts leading whitespace and a sign (a
+    // negative wraps to a huge positive) — both are almost certainly
+    // typos when seeding an experiment, so reject them up front.
+    const unsigned char first = static_cast<unsigned char>(text[0]);
+    if (std::isspace(first) || text[0] == '-' || text[0] == '+')
+        fatal("%s='%s' must be a bare non-negative integer (base 10 "
+              "or 0x... hex); no sign or whitespace", what,
+              text.c_str());
+    // Base 0 would also accept leading-zero octal ("010" -> 8),
+    // which is never what a seed-writing operator means: parse hex
+    // only behind an explicit 0x prefix, decimal otherwise.
+    const bool hex = text.size() > 1 && text[0] == '0' &&
+                     (text[1] == 'x' || text[1] == 'X');
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(text.c_str(), &end, hex ? 16 : 10);
+    if (end == text.c_str() || *end != '\0')
+        fatal("%s='%s' is not a number; want a non-negative integer "
+              "(base 10 or 0x... hex)", what, text.c_str());
+    if (errno == ERANGE)
+        fatal("%s='%s' overflows a 64-bit unsigned integer", what,
+              text.c_str());
+    return parsed;
+}
+
+bool
+parseFlag(const std::string &text, const char *what)
+{
+    const std::string low = toLower(text);
+    if (low == "0" || low == "false" || low == "off" || low == "no")
+        return false;
+    if (low == "1" || low == "true" || low == "on" || low == "yes")
+        return true;
+    fatal("%s='%s' is not a boolean; want 0/false/off/no or "
+          "1/true/on/yes (case-insensitive)", what, text.c_str());
+}
+
+std::uint64_t
+envUint64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || v[0] == '\0')
+        return fallback;
+    return parseUint64(v, name);
+}
+
+bool
+envFlag(const char *name, bool fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || v[0] == '\0')
+        return fallback;
+    return parseFlag(v, name);
+}
+
+} // namespace neu10

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Hardened environment-variable parsing for the bench/test harness.
+ *
+ * Every knob the harness reads from the environment (NEU10_SEED,
+ * NEU10_SMOKE, ...) goes through these helpers so a typo fails loudly
+ * with the offending text and the accepted grammar instead of
+ * silently falling back to a default — a silently mis-seeded bench
+ * records an irreproducible number, which is worse than no number.
+ *
+ * The parsers throw FatalError (a user-level problem, common/logging);
+ * the env* wrappers read getenv() and treat unset / empty as "use the
+ * fallback", which is the only silent path.
+ */
+
+#ifndef NEU10_COMMON_ENV_HH
+#define NEU10_COMMON_ENV_HH
+
+#include <cstdint>
+#include <string>
+
+namespace neu10
+{
+
+/**
+ * Parse @p text as a non-negative 64-bit integer (base 10, or 0x...
+ * hex). Leading/trailing whitespace, signs, trailing junk, and values
+ * overflowing std::uint64_t are all rejected.
+ * @param what  name used in the error message (e.g. "NEU10_SEED").
+ * @throws FatalError on anything but a clean parse.
+ */
+std::uint64_t parseUint64(const std::string &text, const char *what);
+
+/**
+ * Parse @p text as a boolean flag: "0" / "false" / "off" / "no" are
+ * false, "1" / "true" / "on" / "yes" are true (case-insensitive).
+ * @param what  name used in the error message (e.g. "NEU10_SMOKE").
+ * @throws FatalError on anything else.
+ */
+bool parseFlag(const std::string &text, const char *what);
+
+/** Read env var @p name via parseUint64; unset/empty = @p fallback.
+ * @throws FatalError when set to something unparsable. */
+std::uint64_t envUint64(const char *name, std::uint64_t fallback);
+
+/** Read env var @p name via parseFlag; unset/empty = @p fallback.
+ * @throws FatalError when set to something unparsable. */
+bool envFlag(const char *name, bool fallback);
+
+} // namespace neu10
+
+#endif // NEU10_COMMON_ENV_HH

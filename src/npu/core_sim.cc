@@ -43,6 +43,7 @@ NpuCoreSim::NpuCoreSim(EventQueue &queue, const NpuCoreConfig &cfg,
       meUseful_(std::max(1u, cfg.numMes)),
       meHeld_(std::max(1u, cfg.numMes)),
       veBusy_(std::max(1u, cfg.numVes)),
+      budgetUsed_(slots_.size(), 0),
       lastAdvance_(queue.now())
 {
     NEU10_ASSERT(policy_ != nullptr, "core needs a scheduling policy");
@@ -139,6 +140,33 @@ NpuCoreSim::enqueueReadyUnits(RequestExec &req, std::uint32_t op_idx,
 }
 
 void
+NpuCoreSim::stepCycles(Cycles from, Cycles to)
+{
+    // Per-cycle reference engine (SimEngine::PerCycle): visit every
+    // integer cycle boundary in (from, to) and re-derive from the
+    // running set whether any unit completes or unstalls there. None
+    // ever does — the event at `to` is the first state change, which
+    // is exactly what the fast-forward engine computed once in
+    // scheduleNext() — but the reference pays the per-cycle scan to
+    // find that out. The walk only reads simulator state, so results
+    // stay bit-identical across engines; the volatile sink keeps the
+    // optimizer from fast-forwarding the reference for us.
+    bool change = false;
+    for (Cycles c = std::floor(from) + 1.0; c < to; c += 1.0) {
+        for (const UnitRun *u : running_) {
+            if (u->penalty > 0.0) {
+                change = change || (from + u->penalty < c);
+            } else if (u->rate > 0.0) {
+                change = change || (u->x + u->rate * (c - from) >=
+                                    1.0 - kDoneEps);
+            }
+        }
+        probeSink_ = probeSink_ || change;
+        ++cyclesStepped_;
+    }
+}
+
+void
 NpuCoreSim::advanceTo(Cycles now)
 {
     const Cycles dt = now - lastAdvance_;
@@ -146,11 +174,14 @@ NpuCoreSim::advanceTo(Cycles now)
         lastAdvance_ = now;
         return;
     }
+    if (engine_ == SimEngine::PerCycle)
+        stepCycles(lastAdvance_, now);
 
     double hbm_rate = 0.0;
-    std::vector<double> me_occ(slots_.size(), 0.0);
-    std::vector<double> me_useful(slots_.size(), 0.0);
-    std::vector<bool> blocked(slots_.size(), false);
+    scratchOccupancy_.assign(slots_.size(), 0.0);
+    scratchUseful_.assign(slots_.size(), 0.0);
+    std::vector<double> &me_occ = scratchOccupancy_;
+    std::vector<double> &me_useful = scratchUseful_;
 
     for (UnitRun *u : running_) {
         const bool stalled = u->penalty > 0.0;
@@ -213,6 +244,7 @@ NpuCoreSim::bindMe(UnitRun *u, std::uint32_t budget_slot,
     u->running = true;
     u->budgetSlot = budget_slot;
     u->penalty = with_penalty ? cfg_.mePreemptCycles : 0.0;
+    budgetUsed_[budget_slot] += u->gang;
     running_.push_back(u);
 
     if (captureOpTimings_) {
@@ -229,6 +261,9 @@ NpuCoreSim::preemptMe(UnitRun *u)
 {
     NEU10_ASSERT(u->running && u->kind == UTopKind::Me,
                  "preempting a non-running ME unit");
+    NEU10_ASSERT(budgetUsed_[u->budgetSlot] >= u->gang,
+                 "budget accounting underflow on preempt");
+    budgetUsed_[u->budgetSlot] -= u->gang;
     u->running = false;
     u->budgetSlot = kNoSlot;
     u->penalty = 0.0;
@@ -275,11 +310,10 @@ NpuCoreSim::preemptVe(UnitRun *u)
 unsigned
 NpuCoreSim::budgetUsed(std::uint32_t slot) const
 {
-    unsigned used = 0;
-    for (const UnitRun *u : running_)
-        if (u->kind == UTopKind::Me && u->budgetSlot == slot)
-            used += u->gang;
-    return used;
+    // Maintained incrementally (bindMe / preemptMe / completeUnit /
+    // drainSlot): the policies probe this once per candidate binding,
+    // which made the former running-set scan an O(n^2) hot spot.
+    return budgetUsed_[slot];
 }
 
 std::vector<UnitRun *>
@@ -325,24 +359,30 @@ NpuCoreSim::computeShares()
         return r;
     };
 
-    std::vector<double> slot_demand(slots_.size(), 0.0);
+    // One pass buckets the traffic-bearing units by slot (preserving
+    // running-set order within each slot, which the per-unit max-min
+    // split below depends on) while summing per-slot demand.
+    scratchDemand_.assign(slots_.size(), 0.0);
+    if (scratchSlotUnits_.size() != slots_.size())
+        scratchSlotUnits_.resize(slots_.size());
+    for (auto &bucket : scratchSlotUnits_)
+        bucket.clear();
     for (UnitRun *u : running_) {
         const double d = base_rate(u) * static_cast<double>(u->bytes);
-        slot_demand[u->slot] += d;
+        scratchDemand_[u->slot] += d;
+        if (u->bytes != 0)
+            scratchSlotUnits_[u->slot].push_back(u);
     }
     const std::vector<double> slot_grant =
-        maxMinAllocate(slot_demand, bpc);
+        maxMinAllocate(scratchDemand_, bpc);
 
+    std::vector<double> demands;
     for (std::uint32_t s = 0; s < slots_.size(); ++s) {
-        std::vector<UnitRun *> mine;
-        std::vector<double> demands;
-        for (UnitRun *u : running_) {
-            if (u->slot != s || u->bytes == 0)
-                continue;
-            mine.push_back(u);
+        const auto &mine = scratchSlotUnits_[s];
+        demands.clear();
+        for (UnitRun *u : mine)
             demands.push_back(base_rate(u) *
                               static_cast<double>(u->bytes));
-        }
         const auto grants = maxMinAllocate(demands, slot_grant[s]);
         for (size_t i = 0; i < mine.size(); ++i)
             mine[i]->hbmShare = grants[i];
@@ -365,8 +405,10 @@ void
 NpuCoreSim::updateStats(Cycles now)
 {
     double useful = 0.0, held = 0.0, ve = 0.0;
-    std::vector<double> slot_mes(slots_.size(), 0.0);
-    std::vector<double> slot_ves(slots_.size(), 0.0);
+    scratchOccupancy_.assign(slots_.size(), 0.0);
+    scratchUseful_.assign(slots_.size(), 0.0);
+    std::vector<double> &slot_mes = scratchOccupancy_;
+    std::vector<double> &slot_ves = scratchUseful_;
 
     for (const UnitRun *u : running_) {
         if (u->kind == UTopKind::Me) {
@@ -397,6 +439,12 @@ NpuCoreSim::updateStats(Cycles now)
 void
 NpuCoreSim::completeUnit(UnitRun *u, Cycles now)
 {
+    if (u->kind == UTopKind::Me && u->budgetSlot != kNoSlot) {
+        NEU10_ASSERT(budgetUsed_[u->budgetSlot] >= u->gang,
+                     "budget accounting underflow on completion");
+        budgetUsed_[u->budgetSlot] -= u->gang;
+        u->budgetSlot = kNoSlot;
+    }
     u->running = false;
     u->rate = 0.0;
 
@@ -531,6 +579,16 @@ NpuCoreSim::drainSlot(std::uint32_t slot)
         }
         for (auto &u : it->second->units) {
             if (u->running) {
+                if (u->kind == UTopKind::Me &&
+                    u->budgetSlot != kNoSlot) {
+                    // A drained unit may be a harvester charged to a
+                    // *different* slot's budget: release that budget,
+                    // not the drained slot's.
+                    NEU10_ASSERT(budgetUsed_[u->budgetSlot] >= u->gang,
+                                 "budget accounting underflow on "
+                                 "drain");
+                    budgetUsed_[u->budgetSlot] -= u->gang;
+                }
                 running_.erase(std::find(running_.begin(),
                                          running_.end(), u.get()));
             }

@@ -20,6 +20,12 @@
  * reclaim preemption), per-unit VE shares, and may request wake-ups for
  * time-quantum decisions. HBM bandwidth is split max-min fairly between
  * vNPUs and then between units (§III-B).
+ *
+ * Two execution engines drive the same schedule (sim/engine.hh): the
+ * default fast-forward engine jumps the clock straight to the next
+ * computed state change, while the per-cycle reference walks every
+ * intervening cycle re-probing the running set. Results are
+ * bit-identical either way; bench_perf_engine records the speed gap.
  */
 
 #ifndef NEU10_NPU_CORE_SIM_HH
@@ -35,6 +41,7 @@
 #include "common/types.hh"
 #include "compiler/lower.hh"
 #include "npu/config.hh"
+#include "sim/engine.hh"
 #include "sim/event_queue.hh"
 #include "stats/timeseries.hh"
 #include "stats/utilization.hh"
@@ -182,6 +189,21 @@ class NpuCoreSim
     /** Record per-slot assigned-engine time series (Fig. 24). */
     void setCaptureAssignment(bool on) { captureAssignment_ = on; }
 
+    /**
+     * Select the execution engine (sim/engine.hh). The default
+     * fast-forward engine jumps the clock between state changes; the
+     * per-cycle reference walks every intervening cycle, probing the
+     * running set at each one. Results are bit-identical either way
+     * (the walk only reads state) — the engines differ in host cost,
+     * which bench_perf_engine measures.
+     */
+    void setEngine(SimEngine e) { engine_ = e; }
+    SimEngine engine() const { return engine_; }
+
+    /** Integer cycle boundaries the per-cycle reference visited
+     * (0 under the fast-forward engine). */
+    std::uint64_t cyclesStepped() const { return cyclesStepped_; }
+
     // --- accessors used by policies and stats consumers ------------
     const NpuCoreConfig &config() const { return cfg_; }
     EventQueue &queue() { return queue_; }
@@ -234,6 +256,7 @@ class NpuCoreSim
 
     void onEvent(Cycles now);
     void advanceTo(Cycles now);
+    void stepCycles(Cycles from, Cycles to);
     void computeShares();
     void scheduleNext();
     void completeUnit(UnitRun *u, Cycles now);
@@ -255,8 +278,30 @@ class NpuCoreSim
     UtilizationTracker meUseful_;
     UtilizationTracker meHeld_;
     UtilizationTracker veBusy_;
+
+    // Running ME gangs charged to each slot's budget, maintained
+    // incrementally by bindMe/preemptMe/completeUnit/drainSlot so the
+    // policies' per-decision budgetUsed() probes are O(1) instead of
+    // a scan over the running set (a hot path: Neu10's fill/reclaim
+    // loops probe once per candidate binding).
+    std::vector<unsigned> budgetUsed_;
+
     double hbmBytes_ = 0.0;
     Cycles lastAdvance_ = 0.0;
+
+    // Scratch buffers reused across events so the per-event
+    // advance/share/stat passes allocate nothing in steady state.
+    std::vector<double> scratchOccupancy_;
+    std::vector<double> scratchUseful_;
+    std::vector<double> scratchDemand_;
+    std::vector<std::vector<UnitRun *>> scratchSlotUnits_;
+
+    SimEngine engine_ = SimEngine::EventDriven;
+    std::uint64_t cyclesStepped_ = 0;
+    /** Sink for the per-cycle probe results; volatile so the walk
+     * cannot be collapsed into a single analytic step — that is the
+     * fast-forward engine's job, not the reference's. */
+    volatile bool probeSink_ = false;
 
     EventId pendingEvent_ = kInvalidEvent;
     std::uint64_t nextRequestId_ = 1;

@@ -82,14 +82,23 @@ driveClosedLoop(const ServingConfig &config,
             pump(i);
 
     // Drive the simulation until the stop condition or the time cap.
+    // The cap is exclusive: an event at or after it never runs (the
+    // former now()-based check let one event overshoot arbitrarily
+    // far past the cap, inflating the measurement window).
     while (!stopped && !queue.empty() &&
-           queue.now() < config.maxCycles) {
+           queue.nextEventTime() < config.maxCycles) {
         queue.step();
     }
     if (!stopped) {
+        // Capped run: the partial result is still well-formed — every
+        // tenant's Distribution holds exactly its completions so far
+        // (possibly none; percentile() is defined on empty), and the
+        // window is the last event processed inside the cap.
         stop_time = queue.now();
-        warn("serving run hit the %g-cycle cap before %u requests",
-             config.maxCycles, config.minRequests);
+        warn("serving run hit the %.0f-cycle cap before every tenant "
+             "completed %u requests (slowest tenant finished %llu)",
+             config.maxCycles, config.minRequests,
+             static_cast<unsigned long long>(slowest_done()));
     }
     return stop_time;
 }
@@ -125,6 +134,13 @@ driveOpenLoop(const ServingConfig &config,
     // Work arriving earlier waits in the host FIFO — never in
     // beyond-the-boundary events, so an epoch stop always sees it.
     std::vector<Cycles> start_at(n, 0.0);
+
+    // Arrivals actually delivered so far, per tenant. When the cycle
+    // cap cuts the run short, the tail of each stream never fires as
+    // an event — those requests are counted below so request
+    // conservation (submitted == completed + rejected + backlog)
+    // survives a capped run.
+    std::vector<size_t> delivered(n, 0);
 
     // Forward-declared so the completion callback can refill the
     // core-side window.
@@ -168,6 +184,7 @@ driveOpenLoop(const ServingConfig &config,
 
     auto on_arrival = [&](std::uint32_t i, Cycles stamp) {
         TenantResult &tr = result.tenants[i];
+        ++delivered[i];
         ++tr.submitted;
         if (inflight[i] >= config.tenants[i].maxQueueDepth) {
             ++tr.rejected;
@@ -209,15 +226,41 @@ driveOpenLoop(const ServingConfig &config,
                            EventPriority::Arrival);
     }
 
-    while (!queue.empty() && queue.now() < config.maxCycles &&
-           queue.nextEventTime() < config.stopAtCycles)
+    // Both stops are exclusive boundaries: no event at or after
+    // stopAtCycles (epoch boundary) or maxCycles (runaway cap) runs,
+    // so an arrival stamped exactly on either line is outside this
+    // run's window — the same strict comparison runFleet uses when
+    // it slices arrival streams into epochs.
+    const Cycles stop_before =
+        std::min(config.stopAtCycles, config.maxCycles);
+    while (!queue.empty() && queue.nextEventTime() < stop_before)
         queue.step();
 
+    // A boundary hand-off only exists while the boundary itself is
+    // inside the cap; with maxCycles < stopAtCycles the cap is the
+    // terminal stop and the shed accounting below must run (and the
+    // window must not report the unreached boundary).
     const bool at_boundary =
-        !queue.empty() && queue.nextEventTime() >= config.stopAtCycles;
-    if (!queue.empty() && !at_boundary)
-        warn("open-loop run hit the %g-cycle cap with %zu events "
+        !queue.empty() && config.stopAtCycles <= config.maxCycles &&
+        queue.nextEventTime() >= config.stopAtCycles;
+    if (!queue.empty() && !at_boundary) {
+        warn("open-loop run hit the %.0f-cycle cap with %zu events "
              "pending", config.maxCycles, queue.pending());
+        // The cap truncated the run mid-stream: arrivals whose
+        // delivery events never fired were still offered by the
+        // traffic source, so count them submitted-and-rejected
+        // rather than letting them vanish (a capped core in a fleet
+        // epoch must not leak requests from the conservation books).
+        for (std::uint32_t i = 0; i < n; ++i) {
+            TenantResult &tr = result.tenants[i];
+            const size_t total = config.tenants[i].arrivals.size();
+            NEU10_ASSERT(delivered[i] <= total,
+                         "delivered more arrivals than the stream "
+                         "holds");
+            tr.submitted += total - delivered[i];
+            tr.rejected += total - delivered[i];
+        }
+    }
 
     // Report whatever is still admitted-but-unserved — host-queued or
     // core-resident — so an epoch-based caller can carry it over
@@ -272,6 +315,7 @@ runServing(const ServingConfig &config)
     EventQueue queue;
     NpuCoreSim core(queue, config.core, makePolicy(config.policy),
                     std::move(slots));
+    core.setEngine(config.engine);
     core.setCaptureOpTimings(config.captureOpTimings);
     core.setCaptureAssignment(config.captureAssignment);
 

@@ -33,6 +33,7 @@
 #include "npu/config.hh"
 #include "npu/core_sim.hh"
 #include "sched/policy.hh"
+#include "sim/engine.hh"
 #include "stats/distribution.hh"
 
 namespace neu10
@@ -127,12 +128,27 @@ struct ServingConfig
     ServingMode mode = ServingMode::ClosedLoop;
     std::vector<TenantSpec> tenants;
 
+    /** Execution engine (sim/engine.hh): the fast-forward default or
+     * the per-cycle reference. Bit-identical results either way; the
+     * reference exists to be measured against (bench_perf_engine)
+     * and to anchor the invariance suite. */
+    SimEngine engine = SimEngine::EventDriven;
+
     /** Closed loop: stop once the slowest tenant completes this many
      * requests. Ignored in open loop (the arrival streams bound the
      * experiment). */
     unsigned minRequests = 20;
 
-    /** Hard cap on simulated cycles (guards tiny/huge model mixes). */
+    /**
+     * Hard cap on simulated cycles (guards tiny/huge model mixes).
+     * The cap is an exclusive boundary, with the same semantics as
+     * @ref stopAtCycles: no event at or after it runs, so an arrival
+     * landing exactly at the cap is outside this run's window. A
+     * capped open-loop run stays conserved — admitted-but-unserved
+     * work is reported as TenantResult::backlog and arrivals whose
+     * delivery the cap cut off are counted as submitted *and*
+     * rejected (the stream was offered; the server ran out of time).
+     */
     Cycles maxCycles = 4e9;
 
     /**
@@ -142,6 +158,12 @@ struct ServingConfig
      * TenantResult::backlog instead of being drained; utilization is
      * then measured over this window. kCyclesInf (default) drains
      * every admitted request as before.
+     *
+     * The boundary is exclusive: an arrival stamped exactly at it
+     * belongs to the *next* epoch and must not be in this run's
+     * TenantSpec::arrivals — runFleet slices its streams with the
+     * same strict comparison, so nothing is admitted twice or
+     * dropped at a boundary.
      */
     Cycles stopAtCycles = kCyclesInf;
 

@@ -1,0 +1,35 @@
+#include "sim/engine.hh"
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace neu10
+{
+
+std::string
+engineName(SimEngine engine)
+{
+    switch (engine) {
+      case SimEngine::EventDriven: return "event-driven";
+      case SimEngine::PerCycle: return "per-cycle";
+    }
+    panic("unknown sim engine %d", static_cast<int>(engine));
+}
+
+SimEngine
+engineFromName(const std::string &name)
+{
+    const std::string low = toLower(name);
+    if (low == "event-driven" || low == "eventdriven" ||
+        low == "fast-forward" || low == "ff") {
+        return SimEngine::EventDriven;
+    }
+    if (low == "per-cycle" || low == "percycle" || low == "reference")
+        return SimEngine::PerCycle;
+    fatal("unknown sim engine '%s'; valid names are 'event-driven' "
+          "(aliases 'eventdriven', 'fast-forward', 'ff') and "
+          "'per-cycle' (aliases 'percycle', 'reference'), "
+          "case-insensitive", name.c_str());
+}
+
+} // namespace neu10

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Simulation-engine selection: fast-forward vs per-cycle reference.
+ *
+ * The production engine is *event-driven fast-forward*: at every
+ * scheduling decision the core simulator computes the next cycle at
+ * which any tenant's state can actually change (unit completion,
+ * context-switch penalty expiry, policy wake-up, request arrival,
+ * epoch boundary) and jumps the clock straight to it, integrating
+ * utilization and share statistics analytically over the skipped
+ * span. The *per-cycle reference* engine executes the same schedule
+ * — results are bit-identical by construction — but walks the clock
+ * through every intervening cycle, re-deriving at each one whether
+ * anything can change. That is the cost model of a naive cycle-by-
+ * cycle simulator, and the ratio between the two engines' wall-clock
+ * speeds (bench_perf_engine, BENCH_PERF.json) is the recorded payoff
+ * of the fast-forward design.
+ *
+ * The per-cycle engine exists to be measured against and to anchor
+ * the invariance suite (tests/test_perf_engine.cpp, CTest label
+ * `perf`): any divergence between the engines is a fast-forward bug.
+ */
+
+#ifndef NEU10_SIM_ENGINE_HH
+#define NEU10_SIM_ENGINE_HH
+
+#include <string>
+
+namespace neu10
+{
+
+/** How the core simulator advances time (see file doc). */
+enum class SimEngine
+{
+    EventDriven = 0, ///< fast-forward to the next state change
+    PerCycle,        ///< reference: visit every intervening cycle
+};
+
+/** Human-readable engine name ("event-driven" / "per-cycle"). */
+std::string engineName(SimEngine engine);
+
+/**
+ * Parse an engine name (case-insensitive; accepts "event-driven",
+ * "eventdriven", "fast-forward", "ff" and "per-cycle", "percycle",
+ * "reference"). Used by bench CLIs. @throws FatalError.
+ */
+SimEngine engineFromName(const std::string &name);
+
+} // namespace neu10
+
+#endif // NEU10_SIM_ENGINE_HH

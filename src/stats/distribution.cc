@@ -73,6 +73,21 @@ Distribution::stddev() const
 void
 Distribution::merge(const Distribution &other)
 {
+    // An empty rhs is a true no-op: in particular it must not mark
+    // the cached sort dirty (fleet aggregation merges hundreds of
+    // empty per-epoch distributions between percentile queries).
+    if (other.samples_.empty())
+        return;
+    if (&other == this) {
+        // Self-merge doubles every sample. Appending a range that
+        // aliases the destination while it reallocates is undefined,
+        // so stage a copy first.
+        const std::vector<double> copy = samples_;
+        samples_.insert(samples_.end(), copy.begin(), copy.end());
+        sum_ += sum_;
+        dirty_ = true;
+        return;
+    }
     samples_.insert(samples_.end(), other.samples_.begin(),
                     other.samples_.end());
     sum_ += other.sum_;

@@ -44,6 +44,8 @@ class Distribution
 
     /**
      * Exact p-quantile by linear interpolation between order statistics.
+     * Defined on every distribution: 0 when empty, the sample itself
+     * when only one was recorded (no out-of-range reads either way).
      * @param p quantile in [0, 1], e.g. 0.95 for the p95 tail.
      */
     double percentile(double p) const;
@@ -54,6 +56,8 @@ class Distribution
     /**
      * Absorb every sample of @p other (fleet-wide aggregation: merge
      * per-core latency distributions into one cluster distribution).
+     * Merging an empty distribution is a no-op (the cached sort
+     * survives); self-merge doubles every sample.
      */
     void merge(const Distribution &other);
 

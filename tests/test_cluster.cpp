@@ -638,6 +638,86 @@ TEST(OpenLoop, EpochBoundaryStopConservesRequests)
     setLogLevel(LogLevel::Warn);
 }
 
+TEST(OpenLoop, CycleCapConservesRequests)
+{
+    // The runaway cap truncates the run mid-stream: every arrival of
+    // the offered stream must still be accounted — completed,
+    // rejected (including the tail the cap cut off before its
+    // delivery event fired), or carriable backlog. Nothing leaks.
+    setLogLevel(LogLevel::Silent);
+    auto cfg = openLoopConfig(/*rho=*/2.0, /*depth=*/16);
+    const std::uint64_t offered = cfg.tenants[0].arrivals.size();
+    cfg.maxCycles = 1e6; // well inside the 3e7-cycle stream
+    const auto r = runServing(cfg);
+    const auto &t = r.tenants[0];
+    EXPECT_EQ(t.submitted, offered);
+    EXPECT_EQ(t.completed + t.rejected + t.backlog.size(),
+              t.submitted);
+    EXPECT_GT(t.rejected, 0u);
+    EXPECT_LE(r.makespan, cfg.maxCycles);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(OpenLoop, BoundaryArrivalsAreExclusiveAndConsistent)
+{
+    // An arrival stamped exactly at stopAtCycles belongs to the next
+    // epoch (exclusive boundary); one stamped exactly at maxCycles is
+    // likewise outside the window, but — since the cap is a terminal
+    // stop, not a hand-off — it is shed as submitted + rejected
+    // rather than silently dropped.
+    setLogLevel(LogLevel::Silent);
+    auto base = openLoopConfig(/*rho=*/0.3, /*depth=*/16,
+                               /*horizon=*/1e6);
+    base.tenants[0].arrivals = {1e5, 5e5, 1e6}; // last on the line
+
+    auto boundary = base;
+    boundary.stopAtCycles = 1e6;
+    const auto rb = runServing(boundary);
+    // The boundary arrival was neither delivered nor counted: the
+    // next epoch's slice will offer it (runFleet slices streams with
+    // the same strict comparison).
+    EXPECT_EQ(rb.tenants[0].submitted, 2u);
+    EXPECT_EQ(rb.tenants[0].completed +
+                  rb.tenants[0].rejected +
+                  rb.tenants[0].backlog.size(),
+              rb.tenants[0].submitted);
+
+    auto capped = base;
+    capped.maxCycles = 1e6;
+    const auto rc = runServing(capped);
+    // The capped run owns its whole stream: the on-the-line arrival
+    // counts as offered and shed.
+    EXPECT_EQ(rc.tenants[0].submitted, 3u);
+    EXPECT_EQ(rc.tenants[0].rejected, 1u);
+    EXPECT_EQ(rc.tenants[0].completed +
+                  rc.tenants[0].rejected +
+                  rc.tenants[0].backlog.size(),
+              rc.tenants[0].submitted);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(OpenLoop, CapBelowEpochBoundaryIsACapStop)
+{
+    // When the runaway cap lies inside the epoch window, the cap —
+    // not the boundary — ends the run: the window must not report
+    // the unreached boundary, and the undelivered arrival tail is
+    // shed as submitted + rejected like any capped run.
+    setLogLevel(LogLevel::Silent);
+    auto cfg = openLoopConfig(/*rho=*/0.3, /*depth=*/16,
+                              /*horizon=*/1e6);
+    cfg.tenants[0].arrivals = {1e5, 2.5e6};
+    cfg.stopAtCycles = 2e6;
+    cfg.maxCycles = 1e6;
+    const auto r = runServing(cfg);
+    EXPECT_LE(r.makespan, cfg.maxCycles);
+    const auto &t = r.tenants[0];
+    EXPECT_EQ(t.submitted, 2u);
+    EXPECT_EQ(t.rejected, 1u); // the 2.5e6 arrival the cap cut off
+    EXPECT_EQ(t.completed + t.rejected + t.backlog.size(),
+              t.submitted);
+    setLogLevel(LogLevel::Warn);
+}
+
 TEST(OpenLoop, CarriedBacklogIsServedNextEpoch)
 {
     setLogLevel(LogLevel::Silent);
@@ -948,6 +1028,48 @@ TEST(Fleet, EpochsAloneKeepAccountingConsistent)
     EXPECT_EQ(epoch_sum, r.completed);
     // The final (draining) epoch carries nothing out.
     EXPECT_EQ(r.epochReports.back().backlog, 0u);
+}
+
+TEST(Fleet, BoundaryArrivalIsDeliveredExactlyOnce)
+{
+    // A trace arrival landing exactly on an epoch boundary must be
+    // handled once, by the *next* epoch (the exclusive-boundary
+    // contract between runFleet's stream slicing and the serving
+    // loop's stop): conservation holds and the offered-request count
+    // matches the trace whether the horizon is split or not.
+    auto make = [](unsigned epochs) {
+        FleetConfig cfg;
+        cfg.numBoards = 1;
+        cfg.placement = PlacementPolicy::FirstFit;
+        cfg.horizon = 8e6;
+        cfg.maxCycles = 2e9;
+        cfg.elastic.epochs = epochs;
+        cfg.elastic.imbalanceThreshold = 1e18;
+
+        ClusterTenantSpec t;
+        t.model = ModelId::Mnist;
+        t.batch = 8;
+        t.eus = 4;
+        t.traffic.shape = TrafficShape::Trace;
+        // One arrival exactly at the 2-epoch boundary (4e6), plus
+        // neighbors on both sides.
+        t.traffic.trace = {1e6, 3.999e6, 4e6, 4.001e6, 6e6};
+        t.sloCycles = kCyclesInf;
+        t.maxQueueDepth = 16;
+        cfg.tenants.push_back(t);
+        return cfg;
+    };
+
+    const auto whole = runFleet(make(1));
+    const auto split = runFleet(make(2));
+    EXPECT_EQ(whole.submitted, 5u);
+    EXPECT_EQ(split.submitted, 5u);
+    EXPECT_EQ(whole.completed + whole.rejected, whole.submitted);
+    EXPECT_EQ(split.completed + split.rejected, split.submitted);
+    // Light load: nothing is shed either way, so the boundary
+    // arrival demonstrably reached service in the split run too.
+    EXPECT_EQ(whole.completed, 5u);
+    EXPECT_EQ(split.completed, 5u);
 }
 
 TEST(Fleet, BurstyTrafficHurtsTails)

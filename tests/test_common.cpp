@@ -1,17 +1,20 @@
 /**
  * @file
  * Unit tests for src/common: logging, RNG determinism and statistics,
- * string/unit formatting, and the host thread pool.
+ * string/unit formatting, hardened env parsing, and the host thread
+ * pool.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 #include <thread>
 #include <vector>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/strings.hh"
@@ -256,6 +259,70 @@ TEST(ThreadPoolTest, DefaultThreadsIsPositive)
     EXPECT_GE(ThreadPool::defaultThreads(), 1u);
     ThreadPool pool(0); // 0 = hardware concurrency
     EXPECT_GE(pool.size(), 1u);
+}
+
+// ------------------------------------------------------------- env
+
+TEST(Env, ParseUint64AcceptsDecimalAndHex)
+{
+    EXPECT_EQ(parseUint64("0", "X"), 0u);
+    EXPECT_EQ(parseUint64("42", "X"), 42u);
+    EXPECT_EQ(parseUint64("0x2a", "X"), 42u);
+    EXPECT_EQ(parseUint64("0X2A", "X"), 42u);
+    EXPECT_EQ(parseUint64("18446744073709551615", "X"),
+              ~std::uint64_t{0});
+    // Leading zeros are decimal, never octal: an operator writing
+    // 010 means ten.
+    EXPECT_EQ(parseUint64("010", "X"), 10u);
+    EXPECT_EQ(parseUint64("0777", "X"), 777u);
+}
+
+TEST(Env, ParseUint64RejectsGarbage)
+{
+    setLogLevel(LogLevel::Silent);
+    // A bad seed must fail loudly, never silently seed something
+    // else (the old bench parser fell back to a default, and
+    // accepted overflow/negatives as wrapped huge values).
+    EXPECT_THROW(parseUint64("", "X"), FatalError);
+    EXPECT_THROW(parseUint64("banana", "X"), FatalError);
+    EXPECT_THROW(parseUint64("12abc", "X"), FatalError);
+    EXPECT_THROW(parseUint64("-5", "X"), FatalError);
+    EXPECT_THROW(parseUint64("+5", "X"), FatalError);
+    EXPECT_THROW(parseUint64(" 5", "X"), FatalError);
+    EXPECT_THROW(parseUint64("18446744073709551616", "X"),
+                 FatalError); // 2^64 overflows
+    EXPECT_THROW(parseUint64("0x10000000000000000", "X"),
+                 FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Env, ParseFlagGrammar)
+{
+    setLogLevel(LogLevel::Silent);
+    for (const char *t : {"1", "true", "TRUE", "on", "yes"})
+        EXPECT_TRUE(parseFlag(t, "X")) << t;
+    for (const char *f : {"0", "false", "False", "off", "no"})
+        EXPECT_FALSE(parseFlag(f, "X")) << f;
+    EXPECT_THROW(parseFlag("2", "X"), FatalError);
+    EXPECT_THROW(parseFlag("smoke", "X"), FatalError);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Env, EnvWrappersUseFallbackWhenUnset)
+{
+    ::unsetenv("NEU10_TEST_ENV");
+    EXPECT_EQ(envUint64("NEU10_TEST_ENV", 7), 7u);
+    EXPECT_TRUE(envFlag("NEU10_TEST_ENV", true));
+    ::setenv("NEU10_TEST_ENV", "", 1); // empty = unset
+    EXPECT_EQ(envUint64("NEU10_TEST_ENV", 7), 7u);
+    ::setenv("NEU10_TEST_ENV", "0x10", 1);
+    EXPECT_EQ(envUint64("NEU10_TEST_ENV", 7), 16u);
+    setLogLevel(LogLevel::Silent);
+    ::setenv("NEU10_TEST_ENV", "nope", 1);
+    EXPECT_THROW(envUint64("NEU10_TEST_ENV", 7), FatalError);
+    EXPECT_THROW(envFlag("NEU10_TEST_ENV", false), FatalError);
+    setLogLevel(LogLevel::Warn);
+    ::unsetenv("NEU10_TEST_ENV");
 }
 
 } // anonymous namespace

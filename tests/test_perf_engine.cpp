@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Engine-invariance suite (CTest label `perf`): the event-driven
+ * fast-forward engine and the per-cycle reference engine
+ * (sim/engine.hh) must produce bit-identical results on every
+ * scenario class the simulator supports — closed loop, open loop
+ * with epoch stops and carried backlog, elastic fleets that migrate
+ * vNPUs, and fault/failover fleets. Any divergence is a fast-forward
+ * bug: the reference executes the same schedule, it just pays for
+ * every intervening cycle.
+ *
+ * "Bit-identical" here is literal: every counter, every stamp, every
+ * latency sample and every derived double is compared with exact
+ * equality, no tolerances.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/fleet.hh"
+#include "cluster/traffic.hh"
+#include "common/logging.hh"
+#include "resilience/faults.hh"
+#include "runtime/serving.hh"
+#include "sim/engine.hh"
+#include "vnpu/allocator.hh"
+
+namespace neu10
+{
+namespace
+{
+
+// ------------------------------------------------ exact comparison
+
+void
+expectSamplesEq(const Distribution &a, const Distribution &b,
+                const char *what)
+{
+    ASSERT_EQ(a.count(), b.count()) << what;
+    for (size_t i = 0; i < a.samples().size(); ++i)
+        ASSERT_EQ(a.samples()[i], b.samples()[i]) << what
+            << " sample " << i;
+    EXPECT_EQ(a.sum(), b.sum()) << what;
+}
+
+void
+expectTenantEq(const TenantResult &a, const TenantResult &b,
+               size_t idx)
+{
+    SCOPED_TRACE(::testing::Message() << "tenant " << idx);
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.submitted, b.submitted);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.sloMet, b.sloMet);
+    EXPECT_EQ(a.reclaims, b.reclaims);
+    EXPECT_EQ(a.lostRequests, b.lostRequests);
+    EXPECT_EQ(a.recoveredRequests, b.recoveredRequests);
+    EXPECT_EQ(a.failovers, b.failovers);
+    EXPECT_EQ(a.downtimeCycles, b.downtimeCycles);
+    EXPECT_EQ(a.throughput, b.throughput);
+    EXPECT_EQ(a.goodput, b.goodput);
+    EXPECT_EQ(a.blockedFrac, b.blockedFrac);
+    expectSamplesEq(a.latencyCycles, b.latencyCycles, "latency");
+    ASSERT_EQ(a.backlog.size(), b.backlog.size());
+    for (size_t i = 0; i < a.backlog.size(); ++i)
+        ASSERT_EQ(a.backlog[i], b.backlog[i]) << "backlog " << i;
+}
+
+void
+expectServingEq(const ServingResult &a, const ServingResult &b)
+{
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.meUsefulUtil, b.meUsefulUtil);
+    EXPECT_EQ(a.meHeldUtil, b.meHeldUtil);
+    EXPECT_EQ(a.veUtil, b.veUtil);
+    EXPECT_EQ(a.avgHbmBytesPerCycle, b.avgHbmBytesPerCycle);
+    ASSERT_EQ(a.tenants.size(), b.tenants.size());
+    for (size_t i = 0; i < a.tenants.size(); ++i)
+        expectTenantEq(a.tenants[i], b.tenants[i], i);
+}
+
+void
+expectFleetEq(const FleetResult &a, const FleetResult &b)
+{
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.placement, b.placement);
+    EXPECT_EQ(a.submitted, b.submitted);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.sloMet, b.sloMet);
+    EXPECT_EQ(a.unplacedTenants, b.unplacedTenants);
+    EXPECT_EQ(a.migrations, b.migrations);
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+    EXPECT_EQ(a.transientFaults, b.transientFaults);
+    EXPECT_EQ(a.coreFailures, b.coreFailures);
+    EXPECT_EQ(a.failovers, b.failovers);
+    EXPECT_EQ(a.lostRequests, b.lostRequests);
+    EXPECT_EQ(a.recoveredRequests, b.recoveredRequests);
+    EXPECT_EQ(a.downtimeCycles, b.downtimeCycles);
+    EXPECT_EQ(a.availability, b.availability);
+    EXPECT_EQ(a.mttrCycles, b.mttrCycles);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.goodput, b.goodput);
+    expectSamplesEq(a.latencyCycles, b.latencyCycles, "fleet latency");
+    expectSamplesEq(a.coreMeUtil, b.coreMeUtil, "core ME util");
+    expectSamplesEq(a.coreEuUtil, b.coreEuUtil, "core EU util");
+
+    ASSERT_EQ(a.placements.size(), b.placements.size());
+    for (size_t i = 0; i < a.placements.size(); ++i) {
+        EXPECT_EQ(a.placements[i].core, b.placements[i].core) << i;
+        EXPECT_EQ(a.placements[i].nMes, b.placements[i].nMes) << i;
+        EXPECT_EQ(a.placements[i].nVes, b.placements[i].nVes) << i;
+        EXPECT_EQ(a.placements[i].migrations,
+                  b.placements[i].migrations) << i;
+    }
+    ASSERT_EQ(a.cores.size(), b.cores.size());
+    for (size_t c = 0; c < a.cores.size(); ++c) {
+        EXPECT_EQ(a.cores[c].completed, b.cores[c].completed) << c;
+        EXPECT_EQ(a.cores[c].makespan, b.cores[c].makespan) << c;
+        EXPECT_EQ(a.cores[c].meUsefulUtil, b.cores[c].meUsefulUtil)
+            << c;
+        EXPECT_EQ(a.cores[c].veUtil, b.cores[c].veUtil) << c;
+        EXPECT_EQ(a.cores[c].euUtil, b.cores[c].euUtil) << c;
+        EXPECT_EQ(a.cores[c].downCycles, b.cores[c].downCycles) << c;
+    }
+    ASSERT_EQ(a.epochReports.size(), b.epochReports.size());
+    for (size_t e = 0; e < a.epochReports.size(); ++e) {
+        EXPECT_EQ(a.epochReports[e].completed,
+                  b.epochReports[e].completed) << e;
+        EXPECT_EQ(a.epochReports[e].backlog,
+                  b.epochReports[e].backlog) << e;
+        EXPECT_EQ(a.epochReports[e].migrations,
+                  b.epochReports[e].migrations) << e;
+        EXPECT_EQ(a.epochReports[e].failures,
+                  b.epochReports[e].failures) << e;
+        EXPECT_EQ(a.epochReports[e].restores,
+                  b.epochReports[e].restores) << e;
+        EXPECT_EQ(a.epochReports[e].pressureStddev,
+                  b.epochReports[e].pressureStddev) << e;
+    }
+    ASSERT_EQ(a.tenants.size(), b.tenants.size());
+    for (size_t i = 0; i < a.tenants.size(); ++i)
+        expectTenantEq(a.tenants[i], b.tenants[i], i);
+}
+
+/** Run @p cfg under both engines and require bit-identical results.
+ * @return the event-driven result for scenario-shape assertions. */
+ServingResult
+bothServingEngines(ServingConfig cfg)
+{
+    cfg.engine = SimEngine::EventDriven;
+    const ServingResult fast = runServing(cfg);
+    cfg.engine = SimEngine::PerCycle;
+    const ServingResult ref = runServing(cfg);
+    expectServingEq(fast, ref);
+    return fast;
+}
+
+FleetResult
+bothFleetEngines(FleetConfig cfg)
+{
+    cfg.engine = SimEngine::EventDriven;
+    const FleetResult fast = runFleet(cfg);
+    cfg.engine = SimEngine::PerCycle;
+    const FleetResult ref = runFleet(cfg);
+    expectFleetEq(fast, ref);
+    return fast;
+}
+
+// ----------------------------------------------------- scenarios
+
+TEST(EngineInvariance, ClosedLoopPairEveryPolicy)
+{
+    for (auto policy : {PolicyKind::Neu10, PolicyKind::Neu10NH,
+                        PolicyKind::V10, PolicyKind::Pmt}) {
+        SCOPED_TRACE(policyName(policy));
+        ServingConfig cfg;
+        cfg.policy = policy;
+        cfg.minRequests = 6;
+        cfg.tenants = {TenantSpec{ModelId::Mnist, 8, 2, 2},
+                       TenantSpec{ModelId::Ncf, 32, 2, 2}};
+        const ServingResult r = bothServingEngines(cfg);
+        for (const auto &t : r.tenants)
+            EXPECT_GE(t.completed, 6u);
+    }
+}
+
+TEST(EngineInvariance, OpenLoopWithEpochStopAndCarry)
+{
+    const VnpuSizing sizing =
+        sizeVnpuForModel(ModelId::Mnist, 8, 4, NpuCoreConfig{});
+    const Cycles service = sizing.serviceEstimate();
+
+    TrafficSpec traffic;
+    traffic.shape = TrafficShape::Bursty;
+    traffic.ratePerSec = 3.0 * 1.05e9 / service; // heavily overloaded
+    traffic.seed = 11;
+
+    ServingConfig cfg;
+    cfg.mode = ServingMode::OpenLoop;
+    cfg.policy = PolicyKind::Neu10;
+    TenantSpec ts;
+    ts.model = ModelId::Mnist;
+    ts.batch = 8;
+    ts.nMes = sizing.config.numMesPerCore;
+    ts.nVes = sizing.config.numVesPerCore;
+    ts.arrivals = generateArrivals(traffic, 4e6, 1.05e9);
+    ts.maxQueueDepth = 64;
+    ts.sloCycles = 8.0 * service;
+    ts.startOffsetCycles = 2e5; // migration-stall hold
+    cfg.tenants = {ts};
+    cfg.stopAtCycles = 2e6;     // epoch boundary mid-stream
+
+    const ServingResult first = bothServingEngines(cfg);
+    const auto &t = first.tenants[0];
+    ASSERT_GT(t.backlog.size(), 0u); // the stop really carried work
+    EXPECT_EQ(t.completed + t.rejected + t.backlog.size(),
+              t.submitted);
+
+    // Second epoch resumes from the carried backlog — the resumable
+    // path must be engine-invariant too.
+    ServingConfig next = cfg;
+    next.stopAtCycles = kCyclesInf;
+    next.tenants[0].arrivals.clear();
+    next.tenants[0].startOffsetCycles = 0.0;
+    next.tenants[0].backlog.clear();
+    for (Cycles stamp : t.backlog)
+        next.tenants[0].backlog.push_back(stamp - 2e6);
+    const ServingResult second = bothServingEngines(next);
+    EXPECT_EQ(second.tenants[0].completed, t.backlog.size());
+}
+
+TEST(EngineInvariance, ElasticFleetWithMigrations)
+{
+    FleetConfig cfg;
+    cfg.numBoards = 2;
+    cfg.placement = PlacementPolicy::FirstFit;
+    cfg.horizon = 6e6;
+    cfg.maxCycles = 2e9;
+    cfg.elastic.epochs = 4;
+    cfg.elastic.imbalanceThreshold = 0.05;
+    cfg.elastic.maxMigrationsPerEpoch = 4;
+
+    const Cycles service =
+        sizeVnpuForModel(ModelId::Mnist, 8, 2, cfg.board.core)
+            .serviceEstimate();
+    for (unsigned i = 0; i < 8; ++i) {
+        ClusterTenantSpec t;
+        t.model = ModelId::Mnist;
+        t.batch = 8;
+        t.eus = 2;
+        t.traffic.shape = TrafficShape::Bursty;
+        t.traffic.ratePerSec =
+            1.2 * cfg.board.core.freqHz / service;
+        t.traffic.seed = 60 + i;
+        t.sloCycles = 5.0 * service;
+        t.maxQueueDepth = 32;
+        cfg.tenants.push_back(t);
+    }
+
+    const FleetResult r = bothFleetEngines(cfg);
+    // First-fit stacks the small tenants onto the first cores, so
+    // the rebalancer must actually move vNPUs for this scenario to
+    // cover the migration path.
+    EXPECT_GT(r.migrations, 0u);
+    EXPECT_EQ(r.completed + r.rejected, r.submitted);
+}
+
+TEST(EngineInvariance, FaultedFleetWithFailover)
+{
+    FleetConfig cfg;
+    cfg.numBoards = 2;
+    cfg.placement = PlacementPolicy::LoadBalanced;
+    cfg.horizon = 6e6;
+    cfg.maxCycles = 2e9;
+    cfg.elastic.epochs = 4;
+    cfg.elastic.imbalanceThreshold = 1e18; // isolate failover
+    cfg.resilience.failover = true;
+    cfg.resilience.recoveryStallCycles = 1e5;
+    FaultEvent loss;
+    loss.at = 2.4e6;
+    loss.kind = FaultKind::BoardLoss;
+    loss.board = 0;
+    loss.durationCycles = kCyclesInf;
+    cfg.resilience.faults = {loss};
+
+    const Cycles service =
+        sizeVnpuForModel(ModelId::Mnist, 8, 4, cfg.board.core)
+            .serviceEstimate();
+    for (unsigned i = 0; i < 8; ++i) {
+        ClusterTenantSpec t;
+        t.model = ModelId::Mnist;
+        t.batch = 8;
+        t.eus = 4;
+        t.traffic.ratePerSec =
+            0.35 * cfg.board.core.freqHz / service;
+        t.traffic.seed = 100 + i;
+        t.sloCycles = 10.0 * service;
+        t.maxQueueDepth = 64;
+        cfg.tenants.push_back(t);
+    }
+
+    const FleetResult r = bothFleetEngines(cfg);
+    EXPECT_EQ(r.failovers, 4u); // the fault path really ran
+    EXPECT_EQ(r.completed + r.rejected, r.submitted);
+}
+
+TEST(EngineInvariance, PerCycleReferenceActuallySteps)
+{
+    // The reference engine must visit (roughly) every cycle of the
+    // simulated span — if it stepped nothing, the perf comparison in
+    // bench_perf_engine would be measuring two copies of the same
+    // engine.
+    EventQueue queue;
+    std::vector<VnpuSlot> slots(1);
+    slots[0].nMes = 2;
+    slots[0].nVes = 2;
+    NpuCoreSim core(queue, NpuCoreConfig{},
+                    makePolicy(PolicyKind::Neu10), std::move(slots));
+    core.setEngine(SimEngine::PerCycle);
+    EXPECT_EQ(core.engine(), SimEngine::PerCycle);
+
+    const CompiledModel model = compileFor(
+        TenantSpec{ModelId::Mnist, 8, 2, 2}, PolicyKind::Neu10,
+        NpuCoreConfig{});
+    bool done = false;
+    core.submit(0, &model, [&](const RequestResult &) {
+        done = true;
+    });
+    while (!queue.empty())
+        queue.step();
+    ASSERT_TRUE(done);
+    // One full request takes thousands of cycles; the walk must have
+    // visited almost all of them (every span between two events,
+    // minus the fractional remainders).
+    EXPECT_GT(core.cyclesStepped(),
+              static_cast<std::uint64_t>(0.5 * queue.now()));
+    EXPECT_LE(core.cyclesStepped(),
+              static_cast<std::uint64_t>(queue.now()) + 1);
+}
+
+TEST(EngineInvariance, EngineNamesRoundTrip)
+{
+    for (auto e : {SimEngine::EventDriven, SimEngine::PerCycle})
+        EXPECT_EQ(engineFromName(engineName(e)), e);
+    EXPECT_EQ(engineFromName("FF"), SimEngine::EventDriven);
+    EXPECT_EQ(engineFromName("reference"), SimEngine::PerCycle);
+    EXPECT_THROW(engineFromName("warp-speed"), FatalError);
+}
+
+} // anonymous namespace
+} // namespace neu10

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/logging.hh"
 #include "runtime/serving.hh"
 
@@ -198,7 +200,34 @@ TEST(Serving, TimeCapStopsRunaways)
                           PolicyKind::Pmt, 1000000);
     cfg.maxCycles = 5e7;
     const auto r = runServing(cfg);
-    EXPECT_LE(r.makespan, 6e7);
+    // The cap is exclusive: no event at or past it runs, so the
+    // measured window cannot overshoot (it used to, by up to one
+    // arbitrarily late event).
+    EXPECT_LE(r.makespan, cfg.maxCycles);
+    setLogLevel(LogLevel::Warn);
+}
+
+TEST(Serving, TimeCapYieldsWellFormedPartialResult)
+{
+    // A capped run must report a fully formed partial TenantResult:
+    // finite (non-NaN) percentiles and rates even for a tenant that
+    // completed nothing inside the cap.
+    setLogLevel(LogLevel::Silent);
+    auto cfg = pairConfig(ModelId::MaskRcnn, 8, ModelId::ShapeMask, 8,
+                          PolicyKind::Pmt, 1000000);
+    cfg.maxCycles = 1e6; // far too short for either model
+    const auto r = runServing(cfg);
+    EXPECT_LE(r.makespan, cfg.maxCycles);
+    EXPECT_TRUE(std::isfinite(r.meUsefulUtil));
+    EXPECT_TRUE(std::isfinite(r.veUtil));
+    for (const auto &t : r.tenants) {
+        EXPECT_TRUE(std::isfinite(t.p50())) << t.model;
+        EXPECT_TRUE(std::isfinite(t.p95())) << t.model;
+        EXPECT_TRUE(std::isfinite(t.p99())) << t.model;
+        EXPECT_TRUE(std::isfinite(t.throughput)) << t.model;
+        EXPECT_TRUE(std::isfinite(t.blockedFrac)) << t.model;
+        EXPECT_EQ(t.latencyCycles.count(), t.completed) << t.model;
+    }
     setLogLevel(LogLevel::Warn);
 }
 

@@ -152,6 +152,41 @@ TEST(Distribution, MergeSingleSampleEdges)
     EXPECT_DOUBLE_EQ(into.percentile(0.5), 8.0);
 }
 
+TEST(Distribution, MergeSelfDoublesSamples)
+{
+    // d.merge(d) used to append a range aliasing the reallocating
+    // destination (undefined behavior / out-of-range reads). It must
+    // simply double every sample.
+    Distribution d;
+    for (double v : {1.0, 2.0, 3.0})
+        d.add(v);
+    d.merge(d);
+    EXPECT_EQ(d.count(), 6u);
+    EXPECT_DOUBLE_EQ(d.sum(), 12.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 3.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 2.0);
+}
+
+TEST(Distribution, MergeEmptyRhsKeepsEverything)
+{
+    // Merging an empty distribution is a complete no-op: count, sum
+    // and every order statistic are untouched (fleet aggregation
+    // merges hundreds of empty per-epoch distributions).
+    Distribution d;
+    for (double v : {4.0, 1.0, 9.0})
+        d.add(v);
+    const double p50_before = d.percentile(0.5);
+    Distribution empty;
+    d.merge(empty);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.sum(), 14.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), p50_before);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+}
+
 TEST(Distribution, MergeInvalidatesSortedCache)
 {
     // Query first (populating the lazy sorted cache), then merge:

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Check and compare bench_perf_engine's BENCH_PERF.json records.
+
+Two modes:
+
+  bench_compare.py --check CURRENT.json
+      Self-check one record: every scenario must be bit_identical and
+      the canonical fleet scenario's speedup must meet the file's own
+      min_speedup_required.
+
+  bench_compare.py BASELINE.json CURRENT.json [--max-regression F]
+      Compare a fresh record against a recorded baseline. Wall-clock
+      and cycles/second are host-dependent, so the gating metric is
+      the engine *speedup ratio* per scenario (largely machine
+      independent): the run fails if any scenario's speedup fell
+      below (1 - F) x its baseline value (default F = 0.5, i.e. flag
+      only a halving — smoke-mode CI runs are noisy). Absolute
+      cycles/second numbers are printed for the record. Scenarios
+      present on only one side are reported but do not fail the run
+      (the suite is allowed to grow).
+
+Exit status: 0 when every gate passes, 1 otherwise, 2 on bad usage.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        record = json.load(f)
+    if record.get("bench") != "bench_perf_engine":
+        sys.exit(f"error: {path} is not a bench_perf_engine record")
+    if record.get("schema_version") != 1:
+        sys.exit(f"error: {path} has unsupported schema_version "
+                 f"{record.get('schema_version')!r}")
+    return record
+
+
+def scenarios(record):
+    return {s["name"]: s for s in record.get("scenarios", [])}
+
+
+def self_check(record, path):
+    ok = True
+    required = float(record.get("min_speedup_required", 5.0))
+    scen = scenarios(record)
+    if not scen:
+        print(f"FAIL  {path}: no scenarios recorded")
+        return False
+    for name, s in scen.items():
+        if not s.get("bit_identical", False):
+            print(f"FAIL  {name}: engines diverged (bit_identical "
+                  f"is false)")
+            ok = False
+    canon = scen.get("fleet_4board")
+    if canon is None:
+        print("FAIL  canonical scenario 'fleet_4board' missing")
+        ok = False
+    elif canon["speedup"] < required:
+        print(f"FAIL  fleet_4board: speedup {canon['speedup']:.1f}x "
+              f"< required {required:.0f}x")
+        ok = False
+    else:
+        print(f"ok    fleet_4board: speedup {canon['speedup']:.1f}x "
+              f">= {required:.0f}x, all scenarios bit-identical")
+    return ok
+
+
+def compare(baseline, current, max_regression):
+    ok = True
+    base = scenarios(baseline)
+    cur = scenarios(current)
+    for name in sorted(set(base) | set(cur)):
+        if name not in cur:
+            print(f"note  {name}: only in baseline")
+            continue
+        if name not in base:
+            print(f"note  {name}: new scenario "
+                  f"(speedup {cur[name]['speedup']:.1f}x)")
+            continue
+        b, c = base[name], cur[name]
+        floor = (1.0 - max_regression) * b["speedup"]
+        verdict = "ok   " if c["speedup"] >= floor else "FAIL "
+        if c["speedup"] < floor:
+            ok = False
+        b_cps = b["engines"]["event_driven"]["cycles_per_second"]
+        c_cps = c["engines"]["event_driven"]["cycles_per_second"]
+        print(f"{verdict} {name}: speedup {b['speedup']:.1f}x -> "
+              f"{c['speedup']:.1f}x (floor {floor:.1f}x), "
+              f"event-driven {b_cps / 1e6:.0f} -> "
+              f"{c_cps / 1e6:.0f} Mcyc/s")
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="+",
+                        help="--check: CURRENT.json; otherwise "
+                             "BASELINE.json CURRENT.json")
+    parser.add_argument("--check", action="store_true",
+                        help="self-check a single record")
+    parser.add_argument("--max-regression", type=float, default=0.5,
+                        help="tolerated fractional speedup drop vs "
+                             "baseline (default 0.5)")
+    args = parser.parse_args()
+
+    if args.check:
+        if len(args.files) != 1:
+            parser.error("--check takes exactly one file")
+        record = load(pathlib.Path(args.files[0]))
+        sys.exit(0 if self_check(record, args.files[0]) else 1)
+
+    if len(args.files) != 2:
+        parser.error("compare mode takes BASELINE.json CURRENT.json")
+    baseline = load(pathlib.Path(args.files[0]))
+    current = load(pathlib.Path(args.files[1]))
+    if not self_check(current, args.files[1]):
+        sys.exit(1)
+    sys.exit(0 if compare(baseline, current,
+                          args.max_regression) else 1)
+
+
+if __name__ == "__main__":
+    main()
