@@ -1,7 +1,10 @@
 #include "cluster/fleet.hh"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/annotations.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/threadpool.hh"
 #include "resilience/checkpoint.hh"
@@ -11,6 +14,55 @@
 
 namespace neu10
 {
+
+namespace
+{
+
+/**
+ * Collects the epoch's per-core serving results from pool workers.
+ *
+ * Workers finish in host-scheduling order, but results are keyed by
+ * the occupied-core index and the aggregation below walks them in
+ * that order, so the fleet outcome stays bit-identical at any thread
+ * width. The mutex makes the hand-off from worker to aggregator a
+ * checked invariant (clang -Wthread-safety) instead of a comment:
+ * workers only write through record(), and the aggregator can only
+ * get the results back through take(), which asserts every core
+ * reported.
+ */
+class EpochRunCollector
+{
+  public:
+    explicit EpochRunCollector(std::size_t cores) : done_(cores) {}
+
+    /** Store core-index @p k's result (called from pool workers). */
+    void record(std::size_t k, ServingResult &&r) NEU10_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        NEU10_ASSERT(k < done_.size(), "core index out of range");
+        done_[k] = std::move(r);
+        ++recorded_;
+    }
+
+    /** Move the complete result set out (after the parallelFor
+     * barrier, on the aggregation thread). */
+    std::vector<ServingResult> take() NEU10_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        NEU10_ASSERT(recorded_ == done_.size(),
+                     "epoch aggregation started before every core "
+                     "reported (%zu of %zu)", recorded_, done_.size());
+        recorded_ = 0;
+        return std::move(done_);
+    }
+
+  private:
+    Mutex mutex_;
+    std::vector<ServingResult> done_ NEU10_GUARDED_BY(mutex_);
+    std::size_t recorded_ NEU10_GUARDED_BY(mutex_) = 0;
+};
+
+} // anonymous namespace
 
 FleetResult
 runFleet(const FleetConfig &config)
@@ -133,7 +185,12 @@ runFleet(const FleetConfig &config)
     // ---- epoch loop: simulate, observe, fail over, rebalance ------
     const unsigned epochs = config.elastic.epochs;
     const Cycles window = config.horizon / epochs;
-    ThreadPool pool(config.threads);
+    // NEU10_FLEET_THREADS overrides the configured width (results are
+    // bit-identical at any width, so this is safe everywhere). The
+    // TSan CI cell sets it to force real concurrency through tests
+    // whose configs default to serial.
+    ThreadPool pool(static_cast<unsigned>(
+        envUint64("NEU10_FLEET_THREADS", config.threads)));
 
     // Compile every placed tenant's binary exactly once; epochs and
     // host threads share the read-only programs (NeuISA binaries are
@@ -219,6 +276,9 @@ runFleet(const FleetConfig &config)
             // carried[] still holds the residents' admitted work
             // (stamps relative to this epoch) and the boundary
             // checkpoints it below like any other fault.
+            // neu10-lint: allow(float-eq): onset stamps propagate
+            // untouched from the fault trace, so coincidence with the
+            // epoch start is exact, never computed.
             if (fatal_abs[c] == start)
                 continue;
             occupied.push_back(c);
@@ -282,13 +342,15 @@ runFleet(const FleetConfig &config)
             }
         }
 
-        // Per-core simulations are independent; each worker writes
-        // only its own slot and aggregation below walks cores in
-        // index order, so any thread count gives identical results.
-        std::vector<ServingResult> done(occupied.size());
+        // Per-core simulations are independent; workers hand results
+        // to the collector keyed by core index and aggregation below
+        // walks cores in index order, so any thread count gives
+        // identical results.
+        EpochRunCollector collector(occupied.size());
         pool.parallelFor(occupied.size(), [&](size_t k) {
-            done[k] = runServing(runs[k]);
+            collector.record(k, runServing(runs[k]));
         });
+        const std::vector<ServingResult> done = collector.take();
 
         // ---- aggregate the epoch (serial, core-index order) -------
         FleetEpochReport er;
@@ -356,6 +418,8 @@ runFleet(const FleetConfig &config)
         // refresh quarantine from the timeline, then try to restore
         // every pending checkpoint on the surviving capacity.
         for (CoreId c = 0; c < num_cores; ++c) {
+            // neu10-lint: allow(float-eq): kCyclesInf is an exact
+            // sentinel (infinity), not a computed value.
             if (fatal_abs[c] == kCyclesInf)
                 continue;
             ++er.failures;

@@ -163,7 +163,10 @@ struct FleetConfig
 
     /** Host threads running per-core simulations concurrently:
      * 1 = serial (no pool), 0 = one per hardware thread. Results are
-     * bit-identical for every value. */
+     * bit-identical for every value. The NEU10_FLEET_THREADS
+     * environment variable, when set, overrides this (the TSan CI
+     * cell uses it to force real concurrency through every fleet
+     * test). */
     unsigned threads = 1;
 
     /** Execution engine for every per-core simulation

@@ -146,6 +146,7 @@ generateArrivals(const TrafficSpec &spec, Cycles horizon,
 
     if (spec.shape == TrafficShape::Trace) {
         std::vector<Cycles> out;
+        out.reserve(spec.trace.size());
         for (Cycles t : spec.trace)
             if (t >= 0.0 && t < horizon)
                 out.push_back(t);

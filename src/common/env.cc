@@ -54,10 +54,13 @@ parseFlag(const std::string &text, const char *what)
           "1/true/on/yes (case-insensitive)", what, text.c_str());
 }
 
+// getenv() is only unsafe against a concurrent setenv(); the sim
+// reads knobs during single-threaded setup (before any pool spins
+// up), and nothing in src/ ever calls setenv.
 std::uint64_t
 envUint64(const char *name, std::uint64_t fallback)
 {
-    const char *v = std::getenv(name);
+    const char *v = std::getenv(name); // NOLINT(concurrency-mt-unsafe)
     if (v == nullptr || v[0] == '\0')
         return fallback;
     return parseUint64(v, name);
@@ -66,7 +69,7 @@ envUint64(const char *name, std::uint64_t fallback)
 bool
 envFlag(const char *name, bool fallback)
 {
-    const char *v = std::getenv(name);
+    const char *v = std::getenv(name); // NOLINT(concurrency-mt-unsafe)
     if (v == nullptr || v[0] == '\0')
         return fallback;
     return parseFlag(v, name);

@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 
 namespace neu10
@@ -8,7 +9,12 @@ namespace neu10
 namespace
 {
 
-LogLevel g_level = LogLevel::Warn;
+// Read on every message — including from fleet worker threads, which
+// warn() about capped runs — while tests and tools may set the level
+// concurrently. Relaxed atomics make that torn-free and TSan-clean; a
+// message racing a level change may use either level, which is the
+// only sane semantic for a verbosity knob.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 
 std::string
 vformat(const char *fmt, va_list ap)
@@ -30,13 +36,13 @@ vformat(const char *fmt, va_list ap)
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
@@ -46,7 +52,7 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    if (g_level >= LogLevel::Warn)
+    if (g_level.load(std::memory_order_relaxed) >= LogLevel::Warn)
         std::fprintf(stderr, "panic: %s\n", msg.c_str());
     throw PanicError(msg);
 }
@@ -58,7 +64,7 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    if (g_level >= LogLevel::Warn)
+    if (g_level.load(std::memory_order_relaxed) >= LogLevel::Warn)
         std::fprintf(stderr, "fatal: %s\n", msg.c_str());
     throw FatalError(msg);
 }
@@ -66,7 +72,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Warn)
+    if (g_level.load(std::memory_order_relaxed) < LogLevel::Warn)
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -78,7 +84,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Inform)
+    if (g_level.load(std::memory_order_relaxed) < LogLevel::Inform)
         return;
     va_list ap;
     va_start(ap, fmt);

@@ -1,22 +1,9 @@
 #include "common/threadpool.hh"
 
-#include <exception>
-
 #include "common/logging.hh"
 
 namespace neu10
 {
-
-/** One parallelFor invocation: an atomic index dispenser plus
- * completion bookkeeping under the pool mutex. */
-struct ThreadPool::Job
-{
-    std::size_t n = 0;
-    const std::function<void(std::size_t)> *fn = nullptr;
-    std::size_t next = 0;       ///< next unclaimed index (mutex-held)
-    std::size_t active = 0;     ///< workers currently inside fn
-    std::exception_ptr error;   ///< first failure, rethrown by caller
-};
 
 unsigned
 ThreadPool::defaultThreads()
@@ -36,10 +23,10 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
-    wake_.notify_all();
+    wake_.notifyAll();
     for (std::thread &w : workers_)
         w.join();
 }
@@ -47,32 +34,32 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::workerLoop()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (;;) {
-        wake_.wait(lock, [this] {
-            return stop_ || (job_ != nullptr && job_->next < job_->n);
+        wake_.wait(lock, [this]() NEU10_REQUIRES(mutex_) {
+            return stop_ || (jobFn_ != nullptr && next_ < jobN_);
         });
         if (stop_)
             return;
-        Job *job = job_;
-        while (job->next < job->n) {
-            const std::size_t i = job->next++;
-            ++job->active;
+        while (next_ < jobN_) {
+            const std::size_t i = next_++;
+            const std::function<void(std::size_t)> *fn = jobFn_;
+            ++active_;
             lock.unlock();
             try {
-                (*job->fn)(i);
+                (*fn)(i);
             } catch (...) {
                 lock.lock();
-                if (!job->error)
-                    job->error = std::current_exception();
-                --job->active;
+                if (!error_)
+                    error_ = std::current_exception();
+                --active_;
                 continue;
             }
             lock.lock();
-            --job->active;
+            --active_;
         }
-        if (job->active == 0)
-            done_.notify_all();
+        if (active_ == 0)
+            done_.notifyAll();
     }
 }
 
@@ -88,38 +75,43 @@ ThreadPool::parallelFor(std::size_t n,
         return;
     }
 
-    Job job;
-    job.n = n;
-    job.fn = &fn;
-
-    std::unique_lock<std::mutex> lock(mutex_);
-    NEU10_ASSERT(job_ == nullptr,
+    MutexLock lock(mutex_);
+    NEU10_ASSERT(jobFn_ == nullptr,
                  "ThreadPool::parallelFor is not reentrant");
-    job_ = &job;
-    wake_.notify_all();
+    jobFn_ = &fn;
+    jobN_ = n;
+    next_ = 0;
+    active_ = 0;
+    error_ = nullptr;
+    wake_.notifyAll();
 
     // The caller is a worker too: it claims indices alongside the
     // pool threads instead of idling.
-    while (job.next < job.n) {
-        const std::size_t i = job.next++;
-        ++job.active;
+    while (next_ < jobN_) {
+        const std::size_t i = next_++;
+        ++active_;
         lock.unlock();
         try {
             fn(i);
         } catch (...) {
             lock.lock();
-            if (!job.error)
-                job.error = std::current_exception();
-            --job.active;
+            if (!error_)
+                error_ = std::current_exception();
+            --active_;
             continue;
         }
         lock.lock();
-        --job.active;
+        --active_;
     }
-    done_.wait(lock, [&job] { return job.active == 0; });
-    job_ = nullptr;
-    if (job.error)
-        std::rethrow_exception(job.error);
+    done_.wait(lock, [this]() NEU10_REQUIRES(mutex_) {
+        return active_ == 0;
+    });
+    jobFn_ = nullptr;
+    jobN_ = 0;
+    const std::exception_ptr error = error_;
+    error_ = nullptr;
+    if (error)
+        std::rethrow_exception(error);
 }
 
 } // namespace neu10

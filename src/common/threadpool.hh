@@ -19,12 +19,13 @@
 #ifndef NEU10_COMMON_THREADPOOL_HH
 #define NEU10_COMMON_THREADPOOL_HH
 
-#include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.hh"
 
 namespace neu10
 {
@@ -63,18 +64,31 @@ class ThreadPool
     static unsigned defaultThreads();
 
   private:
-    struct Job;
-
     void workerLoop();
 
     unsigned threads_ = 1;
     std::vector<std::thread> workers_;
 
-    std::mutex mutex_;
-    std::condition_variable wake_;   ///< workers wait here for a job
-    std::condition_variable done_;   ///< caller waits here for finish
-    Job *job_ = nullptr;             ///< current job, null when idle
-    bool stop_ = false;
+    // One parallelFor job at a time (non-reentrant, asserted): the
+    // caller publishes fn/n under the mutex, workers and caller claim
+    // indices until the dispenser runs dry, and the caller waits for
+    // the last index to retire before clearing the job. Every field
+    // below is machine-checked (clang -Wthread-safety) to only be
+    // touched with mutex_ held.
+    Mutex mutex_;
+    CondVar wake_;                   ///< workers wait here for a job
+    CondVar done_;                   ///< caller waits here for finish
+    /** Current job's body; null when the pool is idle. */
+    const std::function<void(std::size_t)> *jobFn_
+        NEU10_GUARDED_BY(mutex_) = nullptr;
+    std::size_t jobN_ NEU10_GUARDED_BY(mutex_) = 0;
+    /** Next unclaimed index in [0, jobN_). */
+    std::size_t next_ NEU10_GUARDED_BY(mutex_) = 0;
+    /** Threads currently inside fn (caller included). */
+    std::size_t active_ NEU10_GUARDED_BY(mutex_) = 0;
+    /** First failure, rethrown by the caller. */
+    std::exception_ptr error_ NEU10_GUARDED_BY(mutex_);
+    bool stop_ NEU10_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace neu10

@@ -41,6 +41,7 @@ std::string
 VliwInstruction::toString() const
 {
     std::vector<std::string> parts;
+    parts.reserve(me.size() + ve.size() + 1);
     for (size_t i = 0; i < me.size(); ++i)
         parts.push_back(csprintf("%s ME%zu->R%u",
                                  neu10::toString(me[i].op).c_str(), i,

@@ -320,6 +320,7 @@ std::vector<UnitRun *>
 NpuCoreSim::harvestersOn(std::uint32_t slot)
 {
     std::vector<UnitRun *> out;
+    out.reserve(running_.size());
     for (UnitRun *u : running_)
         if (u->kind == UTopKind::Me && u->budgetSlot == slot &&
             u->slot != slot) {

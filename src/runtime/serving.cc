@@ -268,6 +268,9 @@ driveOpenLoop(const ServingConfig &config,
     for (std::uint32_t i = 0; i < n; ++i) {
         TenantResult &tr = result.tenants[i];
         tr.backlog.reserve(open[i].size() + waiting[i].size());
+        // neu10-lint: allow(unordered-iter): hash-order here is
+        // harmless — the merged backlog is sorted just below before
+        // anything reads it.
         for (const auto &[rid, stamp] : open[i])
             tr.backlog.push_back(stamp);
         tr.backlog.insert(tr.backlog.end(), waiting[i].begin(),
@@ -304,6 +307,7 @@ runServing(const ServingConfig &config)
 
     // Engine slots per tenant.
     std::vector<VnpuSlot> slots;
+    slots.reserve(config.tenants.size());
     for (const auto &spec : config.tenants) {
         VnpuSlot s;
         s.nMes = spec.nMes;

@@ -226,6 +226,7 @@ Neu10Policy::scheduleVes(NpuCoreSim &core, Cycles now)
         if (surplus <= 1e-12)
             return;
         std::vector<double> unmet;
+        unmet.reserve(units.size());
         for (UnitRun *u : units) {
             const double want = std::min<double>(
                 u->veDemandRate(), core.config().numVes);

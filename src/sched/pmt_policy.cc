@@ -50,6 +50,7 @@ PmtPolicy::beginSwitch(NpuCoreSim &core, std::uint32_t target,
 {
     // Checkpoint everything the departing tenant had in flight.
     std::vector<UnitRun *> evict;
+    evict.reserve(core.running().size());
     for (UnitRun *u : core.running())
         evict.push_back(u);
     for (UnitRun *u : evict) {

@@ -1,0 +1,13 @@
+// check_headers fixture: fully self-contained header.
+#ifndef NEU10_LINT_FIXTURE_GOOD_HEADER_HH
+#define NEU10_LINT_FIXTURE_GOOD_HEADER_HH
+
+#include <cstdint>
+#include <vector>
+
+struct SelfContained
+{
+    std::vector<std::uint32_t> values;
+};
+
+#endif

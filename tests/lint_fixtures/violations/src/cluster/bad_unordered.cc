@@ -1,0 +1,27 @@
+// Lint fixture: hash-order iteration feeding a *Result in the same
+// file. Never compiled — test_lint_tools.py asserts the flags.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct ScanResult
+{
+    std::vector<std::uint64_t> ids;
+    double total = 0.0;
+};
+
+ScanResult
+collect(const std::unordered_map<std::uint64_t, double> &table)
+{
+    std::unordered_set<std::uint64_t> seen;
+    ScanResult result;
+    for (const auto &[id, value] : table) { // violation: range-for
+        result.ids.push_back(id);
+        result.total += value;
+        seen.insert(id);
+    }
+    for (auto it = seen.begin(); it != seen.end(); ++it) // violation
+        result.total += 1.0;
+    return result;
+}

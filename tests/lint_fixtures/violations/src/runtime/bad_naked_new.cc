@@ -1,0 +1,21 @@
+// Lint fixture: naked new/delete ownership. Never compiled —
+// test_lint_tools.py asserts the flags.
+struct Buffer
+{
+    int *data = nullptr;
+};
+
+Buffer *
+makeBuffer()
+{
+    Buffer *b = new Buffer;   // violation: naked new
+    b->data = new int[16];    // violation: naked new
+    return b;
+}
+
+void
+freeBuffer(Buffer *b)
+{
+    delete[] b->data;         // violation: naked delete
+    delete b;                 // violation: naked delete
+}

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""CTest entry proving the correctness-tooling actually fires.
+
+Runs tools/lint_determinism.py and tools/check_headers.py against the
+fixture trees under tests/lint_fixtures/:
+
+  violations/  every rule must flag its known line(s), and the broken
+               header must fail the self-containment compile;
+  clean/       idiomatic look-alikes (seeded Rng, sorted-after-
+               iteration behind allow(), sentinel equality, name
+               collisions like `Clock clock(...)`) must pass silently;
+
+and finally against the real tree, mirroring the CI gate: zero
+findings on src/.
+
+Usage: python3 tests/test_lint_tools.py [repo-root]
+Exit status: 0 when every expectation holds.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+FAILURES = []
+
+
+def run(tool, *argv):
+    cmd = [sys.executable, str(tool), *map(str, argv)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def expect(cond, what):
+    print(("ok      " if cond else "FAILED  ") + what)
+    if not cond:
+        FAILURES.append(what)
+
+
+def main():
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    root = root.resolve()
+    tools = root / "tools"
+    fixtures = root / "tests" / "lint_fixtures"
+    lint = tools / "lint_determinism.py"
+    headers = tools / "check_headers.py"
+
+    # ---- determinism lint: every rule fires on the bad tree -------
+    rc, out = run(lint, "--root", fixtures / "violations")
+    expect(rc == 1, "violations tree exits nonzero")
+    for expected in [
+        # (file, rule, minimum number of findings)
+        ("models/bad_rng.cc", "banned-random", 5),
+        ("cluster/bad_unordered.cc", "unordered-iter", 2),
+        ("vnpu/bad_float_eq.cc", "float-eq", 2),
+        ("runtime/bad_naked_new.cc", "naked-new", 4),
+    ]:
+        path, rule, minimum = expected
+        hits = [line for line in out.splitlines()
+                if path in line and f" {rule}: " in line]
+        expect(len(hits) >= minimum,
+               f"{rule} fires >= {minimum}x on {path} "
+               f"(got {len(hits)})")
+
+    # ---- determinism lint: the clean tree passes ------------------
+    rc, out = run(lint, "--root", fixtures / "clean")
+    expect(rc == 0, "clean tree passes: " + out.strip().splitlines()[-1])
+
+    # ---- determinism lint: unknown rule in allow() is an error ----
+    rc, _ = run(lint, "--list-rules")
+    expect(rc == 0, "--list-rules works")
+
+    # ---- header self-containment: fixture proof both ways ---------
+    rc, out = run(headers, "--root", fixtures / "violations")
+    expect(rc == 1 and "bad_header.hh" in out,
+           "broken header flagged as not self-contained")
+    rc, _ = run(headers, "--root", fixtures / "clean")
+    expect(rc == 0, "self-contained header passes")
+
+    # ---- the real tree is clean (mirror of the CI gates) ----------
+    rc, out = run(lint, "--root", root)
+    expect(rc == 0, "repo src/ passes determinism lint: "
+           + out.strip().splitlines()[-1])
+    rc, out = run(headers, "--root", root)
+    expect(rc == 0, "repo src/ headers self-contained: "
+           + out.strip().splitlines()[-1])
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} expectation(s) failed")
+        return 1
+    print("\nall lint-tool expectations hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Header self-containment check: every src/**/*.hh must compile as
+its own translation unit.
+
+Hidden transitive-include dependencies ("works because some .cc
+happened to include <vector> first") rot silently until an unrelated
+refactor breaks a build — and they defeat tooling that parses headers
+standalone (clang-tidy's header analysis, IDE indexers). This check
+generates one TU per header:
+
+    #include "module/file.hh"
+
+and compiles it with -fsyntax-only against the same include path and
+standard the library uses. A header that fails names its missing
+include directly.
+
+Usage: python3 tools/check_headers.py [--root DIR] [--compiler CXX]
+                                      [--jobs N] [HEADERS...]
+Exit status: 0 when every header is self-contained, 1 otherwise.
+"""
+
+import argparse
+import concurrent.futures
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def compile_header(compiler, root, header, tmpdir):
+    rel = header.relative_to(root / "src")
+    tu = pathlib.Path(tmpdir) / (str(rel).replace(os.sep, "__") + ".cc")
+    tu.write_text(f'#include "{rel.as_posix()}"\n', encoding="utf-8")
+    cmd = [compiler, "-std=c++20", "-fsyntax-only", "-Wall", "-Wextra",
+           f"-I{root / 'src'}", str(tu)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return rel.as_posix(), proc.returncode, proc.stderr
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".",
+                    help="repo root holding src/ (default: cwd)")
+    ap.add_argument("--compiler",
+                    default=os.environ.get("CXX", "c++"))
+    ap.add_argument("--jobs", type=int,
+                    default=os.cpu_count() or 2)
+    ap.add_argument("headers", nargs="*",
+                    help="check only these headers (default: src/**)")
+    args = ap.parse_args()
+
+    root = pathlib.Path(args.root).resolve()
+    headers = ([pathlib.Path(h).resolve() for h in args.headers]
+               if args.headers
+               else sorted((root / "src").rglob("*.hh")))
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmpdir, \
+            concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [pool.submit(compile_header, args.compiler, root,
+                               h, tmpdir) for h in headers]
+        for fut in concurrent.futures.as_completed(futures):
+            rel, rc, stderr = fut.result()
+            if rc != 0:
+                failures.append((rel, stderr))
+
+    for rel, stderr in sorted(failures):
+        print(f"NOT SELF-CONTAINED  {rel}")
+        # First few compiler lines name the missing declaration.
+        for line in stderr.splitlines()[:6]:
+            print(f"    {line}")
+    print(f"check_headers: {len(headers)} headers, "
+          f"{len(failures)} not self-contained")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""clang-tidy driver over the CMake compilation database.
+
+Runs clang-tidy (config from the committed .clang-tidy) on every
+library TU under src/, in parallel, and fails on any finding — the CI
+style gate. Findings are printed verbatim with file:line so the fix
+is one click away.
+
+Requires a configured build directory (compile_commands.json):
+
+    cmake -B build -S .          # CMAKE_EXPORT_COMPILE_COMMANDS is on
+    python3 tools/run_tidy.py --build-dir build
+
+Usage: python3 tools/run_tidy.py [--build-dir DIR] [--clang-tidy BIN]
+                                 [--jobs N] [FILES...]
+Exit status: 0 on zero findings, 1 on findings, 2 on setup errors.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+
+
+def tidy_one(binary, build_dir, path):
+    proc = subprocess.run(
+        [binary, "-p", str(build_dir), "--quiet", str(path)],
+        capture_output=True, text=True)
+    # --quiet still emits a "N warnings generated" tail on stderr;
+    # findings themselves go to stdout as file:line: warning: ...
+    return path, proc.returncode, proc.stdout.strip()
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build",
+                    help="dir holding compile_commands.json")
+    ap.add_argument("--clang-tidy",
+                    default=os.environ.get("CLANG_TIDY", "clang-tidy"))
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    ap.add_argument("files", nargs="*",
+                    help="tidy only these TUs (default: src/** from "
+                         "the compilation database)")
+    args = ap.parse_args()
+
+    if shutil.which(args.clang_tidy) is None:
+        print(f"run_tidy: '{args.clang_tidy}' not found — install "
+              "clang-tidy or pass --clang-tidy", file=sys.stderr)
+        return 2
+
+    build_dir = pathlib.Path(args.build_dir)
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.exists():
+        print(f"run_tidy: {db_path} missing — configure first "
+              "(cmake -B build -S .)", file=sys.stderr)
+        return 2
+
+    if args.files:
+        files = [pathlib.Path(f).resolve() for f in args.files]
+    else:
+        db = json.loads(db_path.read_text(encoding="utf-8"))
+        files = sorted({
+            (pathlib.Path(e["directory"]) / e["file"]).resolve()
+            for e in db
+            if f"{os.sep}src{os.sep}" in str(
+                (pathlib.Path(e["directory"]) / e["file"]).resolve())
+        })
+    if not files:
+        print("run_tidy: no src/ TUs in the compilation database",
+              file=sys.stderr)
+        return 2
+
+    findings = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [pool.submit(tidy_one, args.clang_tidy, build_dir, f)
+                   for f in files]
+        for fut in concurrent.futures.as_completed(futures):
+            path, rc, out = fut.result()
+            if rc != 0 or out:
+                findings += 1
+                print(f"---- {path}")
+                print(out or f"(clang-tidy exited {rc} silently)")
+    print(f"run_tidy: {len(files)} TUs, "
+          f"{findings} with findings")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
