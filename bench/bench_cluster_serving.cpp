@@ -153,9 +153,30 @@ main(int argc, char **argv)
     std::vector<FleetResult> poisson_runs;
     for (PlacementPolicy placement : placements) {
         for (TrafficShape shape : shapes) {
-            const FleetResult r = runFleet(
+            FleetConfig cfg =
                 makeFleet(placement, core_policy, shape, tenants,
-                          horizon, seed));
+                          horizon, seed);
+            // NEU10_TRACE=on: record the first (canonical) run's
+            // sim-time trace and epoch metrics.
+            const bool traced = bench::traceMode() &&
+                                placement == placements.front() &&
+                                shape == TrafficShape::Poisson;
+            if (traced) {
+                cfg.trace.enabled = true;
+                cfg.trace.metrics = true;
+            }
+            const FleetResult r = runFleet(cfg);
+            if (traced) {
+                const std::string path = bench::traceOutPath(
+                    "bench_cluster_serving.trace.json");
+                r.trace.writeChromeJson(path);
+                r.metrics.writeJson(path + ".metrics.json",
+                                    cfg.board.core.freqHz);
+                std::printf("[trace: %llu events -> %s]\n",
+                            static_cast<unsigned long long>(
+                                r.trace.totalEvents()),
+                            path.c_str());
+            }
             printFleetRow(trafficShapeName(shape).c_str(), r);
             if (shape == TrafficShape::Poisson)
                 poisson_runs.push_back(r);

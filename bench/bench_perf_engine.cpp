@@ -42,8 +42,39 @@
 
 using namespace neu10;
 
+// Provenance fields for the schema-v2 JSON record. The build defines
+// both (bench/CMakeLists.txt); the fallbacks keep stray builds
+// honest rather than broken.
+#ifndef NEU10_GIT_SHA
+#define NEU10_GIT_SHA "unknown"
+#endif
+#ifndef NEU10_BUILD_TYPE
+#define NEU10_BUILD_TYPE "unknown"
+#endif
+
 namespace
 {
+
+const char *
+compilerString()
+{
+#if defined(__clang__)
+    return "clang " __clang_version__;
+#elif defined(__GNUC__)
+    return "gcc " __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+/** Traced-on A/B on the canonical fleet: wall cost and the proof
+ * that tracing changed no simulation result. */
+struct TracedAb
+{
+    double wallSeconds = 0.0;
+    std::uint64_t events = 0;
+    bool sameResults = false;
+};
 
 /** One engine's measurement on one scenario. */
 struct EngineRun
@@ -117,6 +148,22 @@ wallSeconds(Fn &&fn)
     return std::chrono::duration<double>(t1 - t0).count();
 }
 
+/** Fold a fleet outcome into the comparable summary fields of an
+ * EngineRun (everything but the wall clock). */
+void
+summarizeFleet(const FleetResult &r, EngineRun &run)
+{
+    run.cyclesSimulated = 0.0;
+    for (const FleetCoreReport &c : r.cores)
+        run.cyclesSimulated += c.makespan;
+    run.completed = r.completed;
+    run.rejected = r.rejected;
+    run.p99 = r.p99();
+    run.makespan = r.makespan;
+    run.latencySum = r.latencyCycles.sum();
+    run.latencyCount = r.latencyCycles.count();
+}
+
 EngineRun
 measureFleet(FleetConfig cfg, SimEngine engine, unsigned reps)
 {
@@ -127,14 +174,7 @@ measureFleet(FleetConfig cfg, SimEngine engine, unsigned reps)
     for (unsigned i = 0; i < reps; ++i)
         run.wallSeconds = std::min(
             run.wallSeconds, wallSeconds([&] { r = runFleet(cfg); }));
-    for (const FleetCoreReport &c : r.cores)
-        run.cyclesSimulated += c.makespan;
-    run.completed = r.completed;
-    run.rejected = r.rejected;
-    run.p99 = r.p99();
-    run.makespan = r.makespan;
-    run.latencySum = r.latencyCycles.sum();
-    run.latencyCount = r.latencyCycles.count();
+    summarizeFleet(r, run);
     return run;
 }
 
@@ -227,7 +267,8 @@ closedLoopCore(unsigned min_requests)
 
 void
 writeJson(const char *path, const std::vector<ScenarioResult> &rows,
-          std::uint64_t seed, bool smoke, double min_speedup)
+          std::uint64_t seed, bool smoke, double min_speedup,
+          const TracedAb &traced)
 {
     std::FILE *f = std::fopen(path, "w");
     if (f == nullptr) {
@@ -236,7 +277,10 @@ writeJson(const char *path, const std::vector<ScenarioResult> &rows,
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"bench_perf_engine\",\n");
-    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"schema_version\": 2,\n");
+    std::fprintf(f, "  \"git_sha\": \"%s\",\n", NEU10_GIT_SHA);
+    std::fprintf(f, "  \"compiler\": \"%s\",\n", compilerString());
+    std::fprintf(f, "  \"build_type\": \"%s\",\n", NEU10_BUILD_TYPE);
     std::fprintf(f, "  \"seed\": %llu,\n",
                  static_cast<unsigned long long>(seed));
     std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
@@ -244,6 +288,12 @@ writeJson(const char *path, const std::vector<ScenarioResult> &rows,
                  ThreadPool::defaultThreads());
     std::fprintf(f, "  \"min_speedup_required\": %.1f,\n",
                  min_speedup);
+    std::fprintf(f,
+                 "  \"tracing\": {\"wall_seconds\": %.6f, "
+                 "\"events\": %llu, \"same_results\": %s},\n",
+                 traced.wallSeconds,
+                 static_cast<unsigned long long>(traced.events),
+                 traced.sameResults ? "true" : "false");
     std::fprintf(f, "  \"scenarios\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {
         const ScenarioResult &s = rows[i];
@@ -310,6 +360,7 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(seed)));
 
     std::vector<ScenarioResult> rows;
+    TracedAb traced;
     {
         ScenarioResult s;
         s.name = "fleet_4board";
@@ -318,6 +369,27 @@ main(int argc, char **argv)
         s.ref = measureFleet(cfg, SimEngine::PerCycle, 1);
         s.bitIdentical = sameResults(s.fast, s.ref);
         rows.push_back(s);
+
+        // Tracing-on A/B on the same scenario: the simulation
+        // results must not move, and the JSON records what enabling
+        // the recorder costs (the ≤2% overhead contract is about
+        // tracing *off* — bench_compare.py gates that against the
+        // baseline record; this documents the *on* price).
+        FleetConfig tcfg = cfg;
+        tcfg.trace.enabled = true;
+        tcfg.trace.metrics = true;
+        tcfg.engine = SimEngine::EventDriven;
+        EngineRun trun;
+        trun.wallSeconds = 1e300;
+        FleetResult tr;
+        for (unsigned i = 0; i < fast_reps; ++i)
+            trun.wallSeconds =
+                std::min(trun.wallSeconds,
+                         wallSeconds([&] { tr = runFleet(tcfg); }));
+        summarizeFleet(tr, trun);
+        traced.wallSeconds = trun.wallSeconds;
+        traced.events = tr.trace.totalEvents();
+        traced.sameResults = sameResults(trun, s.fast);
     }
     {
         ScenarioResult s;
@@ -352,12 +424,19 @@ main(int argc, char **argv)
                     s.ref.cyclesPerSecond() / 1e6, s.speedup(),
                     s.bitIdentical ? "bit-eq" : "MISMATCH");
 
-    writeJson(json_path.c_str(), rows, seed, smoke, min_speedup);
+    std::printf("\ntracing on (fleet_4board, event-driven): %.4f s "
+                "wall, %llu events, results %s\n",
+                traced.wallSeconds,
+                static_cast<unsigned long long>(traced.events),
+                traced.sameResults ? "unchanged" : "CHANGED");
+
+    writeJson(json_path.c_str(), rows, seed, smoke, min_speedup,
+              traced);
     std::printf("\nwrote %s\n", json_path.c_str());
 
     const ScenarioResult &canon = rows.front();
-    const bool pass =
-        canon.speedup() >= min_speedup && canon.bitIdentical;
+    const bool pass = canon.speedup() >= min_speedup &&
+                      canon.bitIdentical && traced.sameResults;
     std::printf("\nShape check: the event-driven engine simulates "
                 "%.1f Mcycles/s vs the per-cycle reference's %.1f "
                 "Mcycles/s on the canonical 4-board fleet — %.1fx "

@@ -111,10 +111,29 @@ partBoardLoss(Cycles horizon, std::uint64_t seed, unsigned epochs)
         FleetConfig cfg = baseFleet(horizon, seed, epochs);
         cfg.resilience.faults = {loss};
         cfg.resilience.failover = failover;
+        // NEU10_TRACE=on: record the failover run — board loss,
+        // quarantine, checkpoint/restore and the hypercall churn are
+        // all reconstructable from the trace alone.
+        if (failover && bench::traceMode()) {
+            cfg.trace.enabled = true;
+            cfg.trace.metrics = true;
+        }
         return runFleet(cfg);
     };
     const FleetResult base = scenario(false);
     const FleetResult fo = scenario(true);
+    if (bench::traceMode()) {
+        const std::string path =
+            bench::traceOutPath("bench_resilience.trace.json");
+        fo.trace.writeChromeJson(path);
+        fo.metrics.writeJson(path + ".metrics.json",
+                             baseFleet(horizon, seed, epochs)
+                                 .board.core.freqHz);
+        std::printf("[trace: %llu events -> %s]\n",
+                    static_cast<unsigned long long>(
+                        fo.trace.totalEvents()),
+                    path.c_str());
+    }
 
     std::printf("Part 1: board 1 lost at 30%% of the horizon, never "
                 "repaired — 16 cores, 16 tenants, %u epochs\n",

@@ -83,6 +83,37 @@ benchSeed(std::uint64_t fallback = 42)
     }
 }
 
+/**
+ * True when NEU10_TRACE is set truthy (common/env grammar: on/1/
+ * true/yes): trace-capable benches (bench_cluster_serving,
+ * bench_resilience) then run with sim-time tracing enabled and write
+ * a Chrome trace-event JSON file — plus a metrics JSON next to it —
+ * after the run. Off by default: the overhead contract
+ * (docs/OBSERVABILITY.md) is measured with tracing compiled in but
+ * disabled.
+ */
+inline bool
+traceMode()
+{
+    try {
+        return envFlag("NEU10_TRACE", false);
+    } catch (const FatalError &err) {
+        usageError(err);
+    }
+}
+
+/**
+ * Trace output path: NEU10_TRACE_OUT when set, @p fallback
+ * otherwise. The metrics JSON lands at "<path>.metrics.json".
+ */
+inline std::string
+traceOutPath(const char *fallback)
+{
+    const char *env = std::getenv("NEU10_TRACE_OUT");
+    return env != nullptr && env[0] != '\0' ? std::string(env)
+                                            : std::string(fallback);
+}
+
 /** Print the bench banner. */
 inline void
 header(const std::string &artifact, const std::string &what)

@@ -91,6 +91,27 @@ runFleet(const FleetConfig &config)
         if (ev.at < config.horizon && ev.kind != FaultKind::Repair)
             ++result.faultsInjected;
 
+    // ---- observability: merged trace + epoch-sampled metrics ------
+    // Controller-track events are recorded serially (epoch loop and
+    // boundary controllers only) in absolute cycles into `ctl` and
+    // appended to the merged trace once, after the last epoch.
+    const bool tracing = config.trace.enabled;
+    result.trace.setTopology(cores_per_board, config.numBoards);
+    result.trace.setFreqHz(core_cfg.freqHz);
+    TraceBuffer ctl(tracing);
+    if (tracing)
+        timeline.emitTrace(result.trace, config.horizon);
+    MetricsRegistry &mx = result.metrics;
+    mx.enable(tracing && config.trace.metrics);
+    const MetricId mx_completed = mx.counter("fleet.completed");
+    const MetricId mx_backlog = mx.gauge("fleet.backlog");
+    const MetricId mx_migrations = mx.counter("fleet.migrations");
+    const MetricId mx_failures = mx.counter("fleet.failures");
+    const MetricId mx_restores = mx.counter("fleet.restores");
+    const MetricId mx_pressure = mx.gauge("fleet.pressure_stddev");
+    const MetricId mx_pending = mx.gauge("fleet.pending_checkpoints");
+    const MetricId mx_epoch_done = mx.histogram("fleet.epoch_completed");
+
     // ---- size every vNPU and bin-pack the fleet -------------------
     // Placement is fault-oblivious: the trace is the future, and the
     // provisioning path does not get to peek at it. Tenants landing
@@ -129,6 +150,11 @@ runFleet(const FleetConfig &config)
         req.load = pl.load;
         pl.core = placer.place(req, config.placement);
         committed_load[i] = pl.load;
+        if (pl.placed())
+            ctl.instant(0.0, "fleet", "place", "tenant", i, "core",
+                        pl.core);
+        else
+            ctl.instant(0.0, "fleet", "unplaced", "tenant", i);
         if (!pl.placed())
             ++result.unplacedTenants;
     }
@@ -158,6 +184,8 @@ runFleet(const FleetConfig &config)
     NpuBoardConfig fleet_board = config.board;
     fleet_board.numChips = config.numBoards * config.board.numChips;
     Hypervisor hv(fleet_board);
+    if (tracing)
+        hv.setTrace(&ctl);
     std::vector<VnpuId> vnpu_ids(num_tenants, kInvalidVnpu);
     for (size_t i = 0; i < num_tenants; ++i) {
         if (result.placements[i].placed())
@@ -228,8 +256,10 @@ runFleet(const FleetConfig &config)
     // Abandon a failed tenant for good: its checkpointed backlog and
     // every not-yet-delivered arrival are lost (counted as rejected
     // too, so request conservation holds), and it stays down to the
-    // end of the horizon.
-    auto abandon = [&](const VnpuCheckpoint &ckpt) {
+    // end of the horizon. @p when is the decision instant (the epoch
+    // boundary giving up on the restore, or the horizon) — trace
+    // bookkeeping only; the loss accounting is time-independent.
+    auto abandon = [&](const VnpuCheckpoint &ckpt, Cycles when) {
         const size_t i = ckpt.tenant;
         TenantResult &tr = result.tenants[i];
         const std::uint64_t lost_arrivals =
@@ -241,6 +271,8 @@ runFleet(const FleetConfig &config)
         tr.rejected += lost;
         tr.lostRequests += lost;
         tr.downtimeCycles += config.horizon - ckpt.faultAt;
+        ctl.instant(when, "resilience", "abandon", "tenant", i,
+                    "lost", static_cast<double>(lost));
     };
 
     for (unsigned e = 0; e < epochs; ++e) {
@@ -305,6 +337,7 @@ runFleet(const FleetConfig &config)
             sc.mode = ServingMode::OpenLoop;
             sc.engine = config.engine;
             sc.maxCycles = config.maxCycles;
+            sc.trace = config.trace;
             sc.stopAtCycles =
                 faulted ? fatal_abs[c] - start
                         : (last ? kCyclesInf : window);
@@ -348,6 +381,11 @@ runFleet(const FleetConfig &config)
         // identical results.
         EpochRunCollector collector(occupied.size());
         pool.parallelFor(occupied.size(), [&](size_t k) {
+            // Worker messages (cap warnings etc.) carry a
+            // "[board.core @cycle]" prefix while this core runs.
+            const CoreId c = occupied[k];
+            ScopedLogContext log_ctx(c / cores_per_board,
+                                     c % cores_per_board);
             collector.record(k, runServing(runs[k]));
         });
         const std::vector<ServingResult> done = collector.take();
@@ -355,6 +393,9 @@ runFleet(const FleetConfig &config)
         // ---- aggregate the epoch (serial, core-index order) -------
         FleetEpochReport er;
         er.epoch = e;
+        // The controller's epoch span covers the window — or, in the
+        // final (draining) epoch, out to the slowest core's drain.
+        Cycles epoch_span_end = epoch_end;
         std::vector<double> pressure(num_cores, 0.0);
         std::vector<double> tenant_pressure(num_tenants, 0.0);
         for (size_t k = 0; k < occupied.size(); ++k) {
@@ -362,6 +403,13 @@ runFleet(const FleetConfig &config)
             const bool faulted = fatal_abs[c] < kCyclesInf;
             const ServingResult &r = done[k];
             const Cycles measured = std::max(1.0, r.makespan);
+            if (tracing)
+                result.trace.append(
+                    static_cast<int>(c), r.trace, start,
+                    static_cast<std::uint64_t>(e + 1) << 56);
+            if (last)
+                epoch_span_end =
+                    std::max(epoch_span_end, start + r.makespan);
             me_busy[c] += r.meUsefulUtil * measured;
             ve_busy[c] += r.veUtil * measured;
             core_live[c] += faulted ? fatal_abs[c] - start
@@ -412,6 +460,10 @@ runFleet(const FleetConfig &config)
             er.pressureStddev = pdist.stddev();
         }
 
+        // Boundary bookkeeping happens "at" the epoch's end: stamp
+        // the hypervisor's control-plane events accordingly.
+        hv.setTraceNow(epoch_end);
+
         // ---- failover controller at the epoch boundary ------------
         // Evict the dead cores' vNPUs (bulk host-side revocation:
         // MMIO windows and IOMMU attachments recycle exactly once),
@@ -436,6 +488,9 @@ runFleet(const FleetConfig &config)
                     i, static_cast<TenantId>(i), c, fatal_abs[c],
                     config.tenants[i].eus, sizings[i], &programs[i],
                     committed_load[i], carried[i], start));
+                ctl.instant(epoch_end, "resilience", "checkpoint",
+                            "tenant", i, "core", c, "backlog",
+                            static_cast<double>(carried[i].size()));
                 carried[i].clear();
             }
             const auto revoked = hv.hcRevokeCore(c);
@@ -452,8 +507,13 @@ runFleet(const FleetConfig &config)
         std::vector<bool> just_restored(num_tenants, false);
         if (!last) {
             const Cycles now = epoch_end;
-            for (CoreId c = 0; c < num_cores; ++c)
-                placer.setQuarantined(c, timeline.downAt(c, now));
+            for (CoreId c = 0; c < num_cores; ++c) {
+                const bool down = timeline.downAt(c, now);
+                placer.setQuarantined(c, down);
+                if (down)
+                    ctl.instant(now, "resilience", "quarantine",
+                                "core", c);
+            }
 
             if (config.resilience.failover) {
                 std::vector<VnpuCheckpoint> still;
@@ -466,6 +526,11 @@ runFleet(const FleetConfig &config)
                     }
                     const size_t i = ckpt.tenant;
                     just_restored[i] = true;
+                    ctl.instant(now, "resilience", "restore",
+                                "tenant", i, "core", out.core,
+                                "backlog",
+                                static_cast<double>(
+                                    ckpt.backlog.size()));
                     vnpu_ids[i] = out.vnpu;
                     sizings[i] = ckpt.sizing;
                     committed_load[i] = ckpt.load;
@@ -502,7 +567,7 @@ runFleet(const FleetConfig &config)
                 pending = std::move(still);
             } else {
                 for (const VnpuCheckpoint &ckpt : pending)
-                    abandon(ckpt);
+                    abandon(ckpt, epoch_end);
                 pending.clear();
             }
         }
@@ -589,6 +654,8 @@ runFleet(const FleetConfig &config)
                     static_cast<TenantId>(mv.tenant),
                     sizings[mv.tenant].config,
                     IsolationMode::Hardware, mv.to);
+                ctl.instant(epoch_end, "fleet", "migrate", "tenant",
+                            mv.tenant, "from", mv.from, "to", mv.to);
                 pl.core = mv.to;
                 ++pl.migrations;
                 committed_load[mv.tenant] = demands[mv.tenant].load;
@@ -608,6 +675,18 @@ runFleet(const FleetConfig &config)
             er.migrations = static_cast<unsigned>(moves.size());
             result.migrations += static_cast<unsigned>(moves.size());
         }
+        ctl.span(start, epoch_span_end, "fleet", "epoch", "completed",
+                 static_cast<double>(er.completed), "backlog",
+                 static_cast<double>(er.backlog));
+        mx.add(mx_completed, static_cast<double>(er.completed));
+        mx.set(mx_backlog, static_cast<double>(er.backlog));
+        mx.add(mx_migrations, er.migrations);
+        mx.add(mx_failures, er.failures);
+        mx.add(mx_restores, er.restores);
+        mx.set(mx_pressure, er.pressureStddev);
+        mx.set(mx_pending, static_cast<double>(pending.size()));
+        mx.observe(mx_epoch_done, static_cast<double>(er.completed));
+        mx.sample(epoch_span_end);
         result.epochReports.push_back(er);
     }
 
@@ -616,7 +695,7 @@ runFleet(const FleetConfig &config)
     // epoch) lose their checkpointed work and any undelivered
     // arrivals.
     for (const VnpuCheckpoint &ckpt : pending)
-        abandon(ckpt);
+        abandon(ckpt, config.horizon);
     pending.clear();
 
     // ---- fleet-wide makespan and per-core reports -----------------
@@ -679,9 +758,13 @@ runFleet(const FleetConfig &config)
     result.goodput = result.sloMet / secs;
 
     // Tear every surviving vNPU down through the hypercall path.
+    hv.setTraceNow(result.makespan);
     for (size_t i = 0; i < num_tenants; ++i)
         if (vnpu_ids[i] != kInvalidVnpu)
             hv.hcDestroyVnpu(static_cast<TenantId>(i), vnpu_ids[i]);
+
+    if (tracing)
+        result.trace.append(Trace::kControllerTrack, ctl, 0.0, 0);
     return result;
 }
 

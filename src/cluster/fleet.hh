@@ -54,6 +54,8 @@
 #include "cluster/placement.hh"
 #include "cluster/traffic.hh"
 #include "npu/config.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "resilience/faults.hh"
 #include "runtime/serving.hh"
 #include "stats/distribution.hh"
@@ -178,6 +180,17 @@ struct FleetConfig
     ElasticConfig elastic;
 
     ResilienceConfig resilience;
+
+    /**
+     * Sim-time tracing and metrics (obs/). When enabled, every
+     * per-core run records its request lifecycle; the aggregation
+     * thread merges the buffers into FleetResult::trace in core-index
+     * order at each epoch boundary (the EpochRunCollector scheme), so
+     * the exported bytes are identical at every @ref threads width
+     * and across engines. TraceConfig::metrics additionally samples
+     * fleet counters into FleetResult::metrics per epoch.
+     */
+    TraceConfig trace;
 
     /** Fleet-wide core count. */
     unsigned
@@ -318,6 +331,13 @@ struct FleetResult
 
     Cycles makespan = 0.0;      ///< slowest core's drain time
     double goodput = 0.0;       ///< SLO-met requests / second
+
+    /** Merged sim-time trace (FleetConfig::trace.enabled); empty
+     * otherwise. Export with Trace::writeChromeJson. */
+    Trace trace;
+
+    /** Epoch-sampled fleet metrics (TraceConfig::metrics). */
+    MetricsRegistry metrics;
 
     /** Rejected fraction of all submitted requests. */
     double

@@ -16,6 +16,20 @@ namespace
 // only sane semantic for a verbosity knob.
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 
+// Per-thread simulation context for message attribution. Thread-local
+// (no synchronization needed): each fleet worker drives exactly one
+// core simulation at a time and scopes it with ScopedLogContext.
+struct LogContext
+{
+    bool active = false;
+    unsigned board = 0;
+    unsigned core = 0;
+    double cycle = 0.0;
+    bool hasCycle = false;
+};
+
+thread_local LogContext t_ctx;
+
 std::string
 vformat(const char *fmt, va_list ap)
 {
@@ -29,6 +43,31 @@ vformat(const char *fmt, va_list ap)
     }
     va_end(ap2);
     return out;
+}
+
+/**
+ * Emit one complete message line with a single fwrite. stderr is
+ * unbuffered and stdout line-buffered, so building the whole line
+ * (context prefix, severity tag, message, newline) first keeps
+ * concurrent epoch workers from interleaving half-lines — stdio
+ * locks the stream for the duration of one fwrite call.
+ */
+void
+emitLine(std::FILE *stream, const char *tag, const std::string &msg)
+{
+    std::string line;
+    line.reserve(msg.size() + 32);
+    if (t_ctx.active) {
+        line += csprintf("[%u.%u", t_ctx.board, t_ctx.core);
+        if (t_ctx.hasCycle)
+            line += csprintf(" @%.0f", t_ctx.cycle);
+        line += "] ";
+    }
+    line += tag;
+    line += ": ";
+    line += msg;
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stream);
 }
 
 } // anonymous namespace
@@ -45,6 +84,29 @@ logLevel()
     return g_level.load(std::memory_order_relaxed);
 }
 
+ScopedLogContext::ScopedLogContext(unsigned board, unsigned core)
+{
+    t_ctx.active = true;
+    t_ctx.board = board;
+    t_ctx.core = core;
+    t_ctx.cycle = 0.0;
+    t_ctx.hasCycle = false;
+}
+
+ScopedLogContext::~ScopedLogContext()
+{
+    t_ctx = LogContext{};
+}
+
+void
+logContextCycle(double cycle)
+{
+    if (!t_ctx.active)
+        return;
+    t_ctx.cycle = cycle;
+    t_ctx.hasCycle = true;
+}
+
 void
 panic(const char *fmt, ...)
 {
@@ -53,7 +115,7 @@ panic(const char *fmt, ...)
     std::string msg = vformat(fmt, ap);
     va_end(ap);
     if (g_level.load(std::memory_order_relaxed) >= LogLevel::Warn)
-        std::fprintf(stderr, "panic: %s\n", msg.c_str());
+        emitLine(stderr, "panic", msg);
     throw PanicError(msg);
 }
 
@@ -65,7 +127,7 @@ fatal(const char *fmt, ...)
     std::string msg = vformat(fmt, ap);
     va_end(ap);
     if (g_level.load(std::memory_order_relaxed) >= LogLevel::Warn)
-        std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+        emitLine(stderr, "fatal", msg);
     throw FatalError(msg);
 }
 
@@ -78,7 +140,7 @@ warn(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine(stderr, "warn", msg);
 }
 
 void
@@ -90,7 +152,7 @@ inform(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    emitLine(stdout, "info", msg);
 }
 
 } // namespace neu10

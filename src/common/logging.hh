@@ -73,6 +73,37 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /**
+ * RAII scope marking the calling thread as simulating one fleet core:
+ * while active, every warn()/inform() from this thread carries a
+ * "[board.core @cycle]" prefix so concurrent epoch workers' messages
+ * stay attributable. The whole line (prefix included) is emitted
+ * through a single buffered fwrite, so half-lines from different
+ * workers can no longer interleave on stderr.
+ *
+ * The context is thread-local: nesting is not supported (the fleet
+ * runs one core simulation per worker at a time), and the destructor
+ * clears it.
+ */
+class ScopedLogContext
+{
+  public:
+    ScopedLogContext(unsigned board, unsigned core);
+    ~ScopedLogContext();
+
+    ScopedLogContext(const ScopedLogContext &) = delete;
+    ScopedLogContext &operator=(const ScopedLogContext &) = delete;
+};
+
+/**
+ * Update the simulated-time component of the calling thread's log
+ * context (cycles; fractional values are floored for display). A
+ * no-op outside a ScopedLogContext scope. Instrumented loops call
+ * this right before a warn() so the prefix pins the message to a
+ * simulated instant, not just a core.
+ */
+void logContextCycle(double cycle);
+
+/**
  * Panic if @p cond is false. Used for internal invariants; cheap enough
  * to keep enabled in release builds.
  */

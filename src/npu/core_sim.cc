@@ -174,6 +174,12 @@ NpuCoreSim::advanceTo(Cycles now)
         lastAdvance_ = now;
         return;
     }
+    if (trace_ != nullptr && traceEngineEvents_) {
+        // The advance sequence is identical under both engines (the
+        // per-cycle walk only reads state), so these spans are too.
+        trace_->span(lastAdvance_, now, "engine", "advance", "units",
+                     static_cast<double>(running_.size()));
+    }
     if (engine_ == SimEngine::PerCycle)
         stepCycles(lastAdvance_, now);
 

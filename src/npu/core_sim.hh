@@ -41,6 +41,7 @@
 #include "common/types.hh"
 #include "compiler/lower.hh"
 #include "npu/config.hh"
+#include "obs/trace.hh"
 #include "sim/engine.hh"
 #include "sim/event_queue.hh"
 #include "stats/timeseries.hh"
@@ -200,6 +201,21 @@ class NpuCoreSim
     void setEngine(SimEngine e) { engine_ = e; }
     SimEngine engine() const { return engine_; }
 
+    /**
+     * Attach a sim-time trace buffer (obs/trace.hh). When
+     * @p engine_events is set, every fast-forward jump of the clock is
+     * recorded as an "engine"/"advance" span — useful for seeing how
+     * the engine batches work, but high-volume. The buffer is not
+     * owned; pass nullptr to detach. Hot paths guard on the cached
+     * pointer, so a detached core pays one predicted branch per site.
+     */
+    void
+    setTrace(TraceBuffer *trace, bool engine_events)
+    {
+        trace_ = trace;
+        traceEngineEvents_ = engine_events && trace != nullptr;
+    }
+
     /** Integer cycle boundaries the per-cycle reference visited
      * (0 under the fast-forward engine). */
     std::uint64_t cyclesStepped() const { return cyclesStepped_; }
@@ -295,6 +311,9 @@ class NpuCoreSim
     std::vector<double> scratchUseful_;
     std::vector<double> scratchDemand_;
     std::vector<std::vector<UnitRun *>> scratchSlotUnits_;
+
+    TraceBuffer *trace_ = nullptr;
+    bool traceEngineEvents_ = false;
 
     SimEngine engine_ = SimEngine::EventDriven;
     std::uint64_t cyclesStepped_ = 0;

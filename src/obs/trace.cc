@@ -1,0 +1,365 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace neu10
+{
+
+// ------------------------------------------------------ TraceBuffer
+
+TraceEvent *
+TraceBuffer::start(Cycles at, Cycles dur, char phase, const char *cat,
+                   const char *name)
+{
+    events_.emplace_back();
+    TraceEvent &ev = events_.back();
+    ev.at = at;
+    ev.dur = dur;
+    ev.phase = phase;
+    ev.cat = cat;
+    ev.name = name;
+    return &ev;
+}
+
+void
+TraceBuffer::instant(Cycles at, const char *cat, const char *name)
+{
+    if (!enabled_)
+        return;
+    start(at, 0.0, 'i', cat, name);
+}
+
+void
+TraceBuffer::instant(Cycles at, const char *cat, const char *name,
+                     const char *k0, double v0)
+{
+    if (!enabled_)
+        return;
+    TraceEvent *ev = start(at, 0.0, 'i', cat, name);
+    ev->nargs = 1;
+    ev->args[0] = {k0, v0};
+}
+
+void
+TraceBuffer::instant(Cycles at, const char *cat, const char *name,
+                     const char *k0, double v0, const char *k1,
+                     double v1)
+{
+    if (!enabled_)
+        return;
+    TraceEvent *ev = start(at, 0.0, 'i', cat, name);
+    ev->nargs = 2;
+    ev->args[0] = {k0, v0};
+    ev->args[1] = {k1, v1};
+}
+
+void
+TraceBuffer::instant(Cycles at, const char *cat, const char *name,
+                     const char *k0, double v0, const char *k1,
+                     double v1, const char *k2, double v2)
+{
+    if (!enabled_)
+        return;
+    TraceEvent *ev = start(at, 0.0, 'i', cat, name);
+    ev->nargs = 3;
+    ev->args[0] = {k0, v0};
+    ev->args[1] = {k1, v1};
+    ev->args[2] = {k2, v2};
+}
+
+void
+TraceBuffer::span(Cycles from, Cycles to, const char *cat,
+                  const char *name)
+{
+    if (!enabled_)
+        return;
+    start(from, to - from, 'X', cat, name);
+}
+
+void
+TraceBuffer::span(Cycles from, Cycles to, const char *cat,
+                  const char *name, const char *k0, double v0)
+{
+    if (!enabled_)
+        return;
+    TraceEvent *ev = start(from, to - from, 'X', cat, name);
+    ev->nargs = 1;
+    ev->args[0] = {k0, v0};
+}
+
+void
+TraceBuffer::span(Cycles from, Cycles to, const char *cat,
+                  const char *name, const char *k0, double v0,
+                  const char *k1, double v1)
+{
+    if (!enabled_)
+        return;
+    TraceEvent *ev = start(from, to - from, 'X', cat, name);
+    ev->nargs = 2;
+    ev->args[0] = {k0, v0};
+    ev->args[1] = {k1, v1};
+}
+
+void
+TraceBuffer::asyncSpan(std::uint64_t id, Cycles from, Cycles to,
+                       const char *cat, const char *name)
+{
+    if (!enabled_)
+        return;
+    TraceEvent *ev = start(from, to - from, 'b', cat, name);
+    ev->id = id;
+}
+
+void
+TraceBuffer::asyncSpan(std::uint64_t id, Cycles from, Cycles to,
+                       const char *cat, const char *name,
+                       const char *k0, double v0)
+{
+    if (!enabled_)
+        return;
+    TraceEvent *ev = start(from, to - from, 'b', cat, name);
+    ev->id = id;
+    ev->nargs = 1;
+    ev->args[0] = {k0, v0};
+}
+
+void
+TraceBuffer::asyncSpan(std::uint64_t id, Cycles from, Cycles to,
+                       const char *cat, const char *name,
+                       const char *k0, double v0, const char *k1,
+                       double v1)
+{
+    if (!enabled_)
+        return;
+    TraceEvent *ev = start(from, to - from, 'b', cat, name);
+    ev->id = id;
+    ev->nargs = 2;
+    ev->args[0] = {k0, v0};
+    ev->args[1] = {k1, v1};
+}
+
+// ------------------------------------------------------------ Trace
+
+void
+Trace::setTopology(unsigned coresPerBoard, unsigned numBoards)
+{
+    coresPerBoard_ = coresPerBoard;
+    numBoards_ = numBoards;
+}
+
+void
+Trace::add(int track, const TraceEvent &ev)
+{
+    tracks_[track].push_back(ev);
+}
+
+void
+Trace::append(int track, const TraceBuffer &buf, Cycles offset,
+              std::uint64_t idSalt)
+{
+    if (buf.empty())
+        return;
+    std::vector<TraceEvent> &dst = tracks_[track];
+    dst.reserve(dst.size() + buf.size());
+    for (TraceEvent ev : buf.events()) {
+        ev.at += offset;
+        if (ev.id != 0)
+            ev.id += idSalt;
+        dst.push_back(ev);
+    }
+}
+
+std::uint64_t
+Trace::totalEvents() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[track, evs] : tracks_)
+        n += evs.size();
+    return n;
+}
+
+namespace
+{
+
+/** One export-ready entry: sort key (simulated start time) plus the
+ * rendered JSON object. 'b' records expand into a begin and an end
+ * entry; stable sort keeps the recording order as the tie-break. */
+struct Emitted
+{
+    Cycles ts = 0.0;
+    std::string line;
+};
+
+std::string
+argsJson(const TraceEvent &ev)
+{
+    if (ev.nargs == 0)
+        return "";
+    std::string s = ",\"args\":{";
+    for (int i = 0; i < ev.nargs; ++i) {
+        if (i > 0)
+            s += ",";
+        // JSON has no infinity/NaN literal; kCyclesInf sentinels
+        // (e.g. a board lost for good) export as -1.
+        const double v = std::isfinite(ev.args[i].value)
+                             ? ev.args[i].value
+                             : -1.0;
+        s += csprintf("\"%s\":%.9g", ev.args[i].key, v);
+    }
+    s += "}";
+    return s;
+}
+
+} // anonymous namespace
+
+std::string
+Trace::chromeJson() const
+{
+    // Cycles -> microseconds (the trace-event time unit), clamped at
+    // zero: a standalone serving trace can hold carried-backlog
+    // stamps from before its own t = 0 (fleet merges re-anchor them
+    // to absolute time before export).
+    const auto us = [&](Cycles at) {
+        const double v = at / freqHz_ * 1e6;
+        return v < 0.0 ? 0.0 : v;
+    };
+    const auto pid_of = [&](int track) -> unsigned {
+        if (track < 0)
+            return numBoards_;
+        return coresPerBoard_ > 0
+                   ? static_cast<unsigned>(track) / coresPerBoard_
+                   : 0u;
+    };
+    const auto tid_of = [&](int track) -> unsigned {
+        return track < 0 ? 0u : static_cast<unsigned>(track);
+    };
+
+    std::string out;
+    out += "{\n";
+    out += "\"displayTimeUnit\": \"ms\",\n";
+    out += csprintf("\"otherData\": {\"clock_hz\": %.0f},\n", freqHz_);
+    out += "\"traceEvents\": [\n";
+
+    bool first = true;
+    const auto emit = [&](const std::string &line) {
+        if (!first)
+            out += ",\n";
+        out += line;
+        first = false;
+    };
+
+    // Metadata: name every process (board) once and every thread
+    // (core). Map order makes this deterministic.
+    std::vector<unsigned> named_pids;
+    for (const auto &[track, evs] : tracks_) {
+        (void)evs;
+        const unsigned pid = pid_of(track);
+        const unsigned tid = tid_of(track);
+        if (std::find(named_pids.begin(), named_pids.end(), pid) ==
+            named_pids.end()) {
+            named_pids.push_back(pid);
+            const std::string pname =
+                track < 0 ? std::string("controller")
+                          : csprintf("board %u", pid);
+            emit(csprintf("{\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
+                          "\"name\":\"process_name\",\"args\":"
+                          "{\"name\":\"%s\"}}",
+                          pid, tid, pname.c_str()));
+        }
+        const std::string tname =
+            track < 0 ? std::string("fleet")
+                      : csprintf("core %u", tid);
+        emit(csprintf("{\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
+                      "\"name\":\"thread_name\",\"args\":"
+                      "{\"name\":\"%s\"}}",
+                      pid, tid, tname.c_str()));
+    }
+
+    for (const auto &[track, evs] : tracks_) {
+        const unsigned pid = pid_of(track);
+        const unsigned tid = tid_of(track);
+        std::vector<Emitted> rows;
+        rows.reserve(evs.size() * 2);
+        for (const TraceEvent &ev : evs) {
+            const std::string args = argsJson(ev);
+            switch (ev.phase) {
+              case 'X':
+                rows.push_back(
+                    {ev.at,
+                     csprintf("{\"ph\":\"X\",\"pid\":%u,\"tid\":%u,"
+                              "\"ts\":%.6f,\"dur\":%.6f,"
+                              "\"cat\":\"%s\",\"name\":\"%s\"%s}",
+                              pid, tid, us(ev.at),
+                              us(ev.at + ev.dur) - us(ev.at),
+                              ev.cat, ev.name, args.c_str())});
+                break;
+              case 'b':
+                rows.push_back(
+                    {ev.at,
+                     csprintf("{\"ph\":\"b\",\"pid\":%u,\"tid\":%u,"
+                              "\"ts\":%.6f,\"cat\":\"%s\","
+                              "\"name\":\"%s\",\"id\":\"0x%llx\"%s}",
+                              pid, tid, us(ev.at), ev.cat, ev.name,
+                              static_cast<unsigned long long>(ev.id),
+                              args.c_str())});
+                rows.push_back(
+                    {ev.at + ev.dur,
+                     csprintf("{\"ph\":\"e\",\"pid\":%u,\"tid\":%u,"
+                              "\"ts\":%.6f,\"cat\":\"%s\","
+                              "\"name\":\"%s\",\"id\":\"0x%llx\"}",
+                              pid, tid, us(ev.at + ev.dur), ev.cat,
+                              ev.name,
+                              static_cast<unsigned long long>(
+                                  ev.id))});
+                break;
+              default:
+                rows.push_back(
+                    {ev.at,
+                     csprintf("{\"ph\":\"i\",\"pid\":%u,\"tid\":%u,"
+                              "\"ts\":%.6f,\"s\":\"t\","
+                              "\"cat\":\"%s\",\"name\":\"%s\"%s}",
+                              pid, tid, us(ev.at), ev.cat, ev.name,
+                              args.c_str())});
+                break;
+            }
+        }
+        // Per-track monotonic timestamps; stable so same-time events
+        // keep their deterministic recording order.
+        std::stable_sort(rows.begin(), rows.end(),
+                         [](const Emitted &a, const Emitted &b) {
+                             return a.ts < b.ts;
+                         });
+        for (const Emitted &row : rows)
+            emit(row.line);
+    }
+
+    out += "\n]}\n";
+    return out;
+}
+
+void
+Trace::writeChromeJson(std::FILE *f) const
+{
+    const std::string json = chromeJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+}
+
+bool
+Trace::writeChromeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        warn("cannot write trace to %s", path.c_str());
+        return false;
+    }
+    writeChromeJson(f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace neu10

@@ -294,4 +294,42 @@ FaultTimeline::transientCount(CoreId core, Cycles from, Cycles to) const
     return n;
 }
 
+void
+FaultTimeline::emitTrace(Trace &trace, Cycles horizon) const
+{
+    for (const FaultEvent &ev : trace_) {
+        if (ev.at >= horizon)
+            continue;
+        TraceEvent te;
+        te.at = ev.at;
+        te.phase = 'i';
+        te.cat = "fault";
+        switch (ev.kind) {
+          case FaultKind::TransientMmio:
+          case FaultKind::TransientDma:
+            te.name = "fault-transient";
+            break;
+          case FaultKind::CoreStall:
+          case FaultKind::BoardLoss:
+            te.name = "fault-onset";
+            break;
+          case FaultKind::Repair:
+            te.name = "fault-repair";
+            break;
+        }
+        if (ev.kind != FaultKind::Repair) {
+            te.nargs = 1;
+            te.args[0] = {"duration", ev.durationCycles};
+        }
+        if (ev.core != kInvalidCore) {
+            trace.add(static_cast<int>(ev.core), te);
+        } else {
+            // Board-scoped: one instant per core of the board.
+            const CoreId base = ev.board * topo_.coresPerBoard;
+            for (unsigned k = 0; k < topo_.coresPerBoard; ++k)
+                trace.add(static_cast<int>(base + k), te);
+        }
+    }
+}
+
 } // namespace neu10

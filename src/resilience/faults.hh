@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/trace.hh"
 
 namespace neu10
 {
@@ -188,6 +189,16 @@ class FaultTimeline
 
     /** The normalized trace (sorted by time, core, kind). */
     const std::vector<FaultEvent> &events() const { return trace_; }
+
+    /**
+     * Record every event with onset before @p horizon as instants on
+     * the affected cores' tracks of @p trace: "fault-onset" (fatal
+     * kinds), "fault-repair", "fault-transient" — board-scoped events
+     * expand to one instant per core of the board, so a track tells
+     * the core's whole hardware story by itself. The walk follows
+     * the normalized (time, core, kind) order: deterministic bytes.
+     */
+    void emitTrace(Trace &trace, Cycles horizon) const;
 
     const FleetTopology &topology() const { return topo_; }
 

@@ -46,6 +46,7 @@ driveClosedLoop(const ServingConfig &config,
 {
     bool stopped = false;
     Cycles stop_time = 0.0;
+    TraceBuffer &trace = result.trace;
 
     auto slowest_done = [&] {
         std::uint64_t least = ~0ull;
@@ -63,6 +64,9 @@ driveClosedLoop(const ServingConfig &config,
                 if (!stopped) {
                     ++tr.completed;
                     tr.latencyCycles.add(r.latency());
+                    trace.instant(r.finishTime, "request", "complete",
+                                  "tenant", slot, "latency",
+                                  r.latency());
                     if (config.captureOpTimings)
                         tr.opTimings.push_back(r.opTimings);
                 }
@@ -95,6 +99,7 @@ driveClosedLoop(const ServingConfig &config,
         // (possibly none; percentile() is defined on empty), and the
         // window is the last event processed inside the cap.
         stop_time = queue.now();
+        logContextCycle(queue.now());
         warn("serving run hit the %.0f-cycle cap before every tenant "
              "completed %u requests (slowest tenant finished %llu)",
              config.maxCycles, config.minRequests,
@@ -116,6 +121,16 @@ driveOpenLoop(const ServingConfig &config,
 {
     const size_t n = config.tenants.size();
     const unsigned depth = std::max(1u, config.corePipelineDepth);
+    TraceBuffer &trace = result.trace;
+
+    // Async-span ids for overlapping request lifecycles: a request's
+    // queue/execute spans can interleave with its neighbours' on the
+    // same track, so they are recorded as Chrome async events keyed by
+    // ((tenant + 1) << 40) + per-tenant sequence number. Ids stay
+    // below 2^56; the fleet salts the top byte per epoch when merging.
+    auto span_id = [](std::uint32_t i, std::uint64_t rid) {
+        return ((static_cast<std::uint64_t>(i) + 1) << 40) + rid;
+    };
     // Admitted requests live in two stages: a host-side FIFO of
     // arrival stamps (`waiting`) and the core simulator itself
     // (`in_core`, at most corePipelineDepth per tenant). `inflight`
@@ -161,6 +176,20 @@ driveOpenLoop(const ServingConfig &config,
                         // toward the tail and the SLO.
                         const Cycles lat =
                             r.finishTime - open[i].at(rid);
+                        // Lifecycle spans are recorded at completion,
+                        // when the whole arc is known: host-side wait
+                        // (original stamp to core submission), then
+                        // execution. Carried stamps can be negative —
+                        // the fleet re-anchors, the export clamps.
+                        trace.asyncSpan(span_id(i, rid), open[i].at(rid),
+                                        r.submitTime, "request", "queue",
+                                        "tenant", i);
+                        trace.asyncSpan(span_id(i, rid), r.submitTime,
+                                        r.finishTime, "request",
+                                        "execute", "tenant", i);
+                        trace.instant(r.finishTime, "request",
+                                      "complete", "tenant", i,
+                                      "latency", lat);
                         open[i].erase(rid);
                         ++tr.completed;
                         tr.latencyCycles.add(lat);
@@ -188,9 +217,13 @@ driveOpenLoop(const ServingConfig &config,
         ++tr.submitted;
         if (inflight[i] >= config.tenants[i].maxQueueDepth) {
             ++tr.rejected;
+            trace.instant(queue.now(), "request", "reject", "tenant",
+                          i, "depth", inflight[i]);
             return;
         }
         ++inflight[i];
+        trace.instant(queue.now(), "request", "admit", "tenant", i,
+                      "depth", inflight[i]);
         waiting[i].push_back(stamp);
         pump(i);
     };
@@ -244,6 +277,7 @@ driveOpenLoop(const ServingConfig &config,
         !queue.empty() && config.stopAtCycles <= config.maxCycles &&
         queue.nextEventTime() >= config.stopAtCycles;
     if (!queue.empty() && !at_boundary) {
+        logContextCycle(queue.now());
         warn("open-loop run hit the %.0f-cycle cap with %zu events "
              "pending", config.maxCycles, queue.pending());
         // The cap truncated the run mid-stream: arrivals whose
@@ -324,6 +358,10 @@ runServing(const ServingConfig &config)
     core.setCaptureAssignment(config.captureAssignment);
 
     ServingResult result;
+    if (config.trace.enabled) {
+        result.trace.enable(true);
+        core.setTrace(&result.trace, config.trace.engineEvents);
+    }
     result.policy = policyName(config.policy);
     result.tenants.resize(config.tenants.size());
     for (size_t i = 0; i < config.tenants.size(); ++i)

@@ -32,6 +32,7 @@
 #include "models/zoo.hh"
 #include "npu/config.hh"
 #include "npu/core_sim.hh"
+#include "obs/trace.hh"
 #include "sched/policy.hh"
 #include "sim/engine.hh"
 #include "stats/distribution.hh"
@@ -181,6 +182,17 @@ struct ServingConfig
 
     bool captureOpTimings = false;
     bool captureAssignment = false;
+
+    /**
+     * Sim-time tracing (obs/trace.hh). Off by default; when enabled,
+     * the run records request-lifecycle events (admit / queue /
+     * execute / complete / reject) — and, with
+     * TraceConfig::engineEvents, every engine fast-forward jump —
+     * into ServingResult::trace. Event times are cycles relative to
+     * this run's t = 0 (carried work keeps negative stamps); the
+     * fleet re-anchors them when merging epochs.
+     */
+    TraceConfig trace;
 };
 
 /** Per-tenant outcome. */
@@ -270,6 +282,10 @@ struct ServingResult
     double meHeldUtil = 0.0;
     double veUtil = 0.0;          ///< Fig. 22b
     double avgHbmBytesPerCycle = 0.0;
+
+    /** Sim-time events recorded when ServingConfig::trace.enabled;
+     * empty otherwise. Times are run-relative cycles. */
+    TraceBuffer trace;
 
     /** Aggregate throughput over tenants (requests / second). */
     double totalThroughput() const;

@@ -40,6 +40,12 @@ Hypervisor::hcCreateVnpu(TenantId tenant, const VnpuConfig &config,
         nextMmioBase_ += kMmioWindow;
     }
     mmio_.emplace(id, region);
+    if (trace_ != nullptr)
+        trace_->instant(traceNow_, "hypercall", "hc-create-vnpu",
+                        "tenant", tenant, "core",
+                        pinned_core == kInvalidCore
+                            ? -1.0
+                            : static_cast<double>(pinned_core));
     return id;
 }
 
@@ -83,6 +89,9 @@ Hypervisor::hcDestroyVnpu(TenantId tenant, VnpuId id)
 {
     checkOwner(tenant, id);
     teardown(id);
+    if (trace_ != nullptr)
+        trace_->instant(traceNow_, "hypercall", "hc-destroy-vnpu",
+                        "tenant", tenant);
 }
 
 std::vector<Hypervisor::Revoked>
@@ -98,6 +107,10 @@ Hypervisor::hcRevokeCore(CoreId core)
         revoked.push_back(Revoked{manager_.get(id).tenant, id});
         teardown(id);
     }
+    if (trace_ != nullptr)
+        trace_->instant(traceNow_, "hypercall", "hc-revoke-core",
+                        "core", core, "vnpus",
+                        static_cast<double>(revoked.size()));
     return revoked;
 }
 

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "virt/iommu.hh"
 #include "virt/manager.hh"
 
@@ -84,6 +85,20 @@ class Hypervisor
     /** The vNPU's control-register window (hypervisor-bypass path). */
     MmioRegion mmioRegion(VnpuId id) const;
 
+    /**
+     * Attach a trace buffer (not owned; nullptr detaches): each
+     * management hypercall records an instant — "hc-create-vnpu",
+     * "hc-destroy-vnpu", "hc-revoke-core" — stamped with the sim time
+     * last set through setTraceNow(). The hypervisor is a host-side
+     * control-plane model with no clock of its own, so the caller
+     * (the fleet's serial epoch loop) advances the stamp at each
+     * boundary.
+     */
+    void setTrace(TraceBuffer *trace) { trace_ = trace; }
+
+    /** Simulated time stamped onto subsequent hypercall events. */
+    void setTraceNow(Cycles now) { traceNow_ = now; }
+
     VnpuManager &manager() { return manager_; }
     const VnpuManager &manager() const { return manager_; }
     Iommu &iommu() { return iommu_; }
@@ -101,6 +116,9 @@ class Hypervisor
     // hosts must recycle (tested in test_virt).
     std::vector<MmioRegion> freeMmio_;
     std::uint64_t nextMmioBase_ = 0xf000'0000ull;
+
+    TraceBuffer *trace_ = nullptr;
+    Cycles traceNow_ = 0.0;
 };
 
 } // namespace neu10

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""End-to-end trace artifact test (CTest: trace_artifact).
+
+Runs bench_cluster_serving in smoke mode with NEU10_TRACE=on, then
+validates the emitted Chrome trace and metrics JSON with
+tools/check_trace.py — the exact pipeline CI's traced smoke-run job
+uses, so a bench or exporter regression fails here first.
+
+Usage: test_trace_artifact.py REPO_ROOT BENCH_BINARY
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def run(cmd, **kwargs):
+    print("+", " ".join(str(c) for c in cmd))
+    proc = subprocess.run(cmd, **kwargs)
+    if proc.returncode != 0:
+        sys.exit(f"FAIL: {' '.join(str(c) for c in cmd)} exited "
+                 f"{proc.returncode}")
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} REPO_ROOT BENCH_BINARY")
+    root = pathlib.Path(sys.argv[1])
+    bench = pathlib.Path(sys.argv[2])
+    check = root / "tools" / "check_trace.py"
+    if not bench.exists():
+        sys.exit(f"FAIL: bench binary {bench} not found")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = pathlib.Path(tmp) / "fleet.trace.json"
+        env = dict(os.environ,
+                   NEU10_SMOKE="1",
+                   NEU10_TRACE="on",
+                   NEU10_TRACE_OUT=str(trace))
+        run([bench], env=env, stdout=subprocess.DEVNULL)
+        if not trace.exists():
+            sys.exit("FAIL: bench did not write the trace file")
+        run([sys.executable, check, trace,
+             "--metrics", f"{trace}.metrics.json",
+             # The canonical fleet run must show the full request
+             # lifecycle plus fleet-level bookkeeping.
+             "--require-event", "admit",
+             "--require-event", "queue",
+             "--require-event", "execute",
+             "--require-event", "complete",
+             "--require-event", "place",
+             "--require-event", "epoch"])
+    print("ok: traced smoke run produced a valid trace + metrics")
+
+
+if __name__ == "__main__":
+    main()

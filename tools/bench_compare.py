@@ -9,6 +9,7 @@ Two modes:
       min_speedup_required.
 
   bench_compare.py BASELINE.json CURRENT.json [--max-regression F]
+                   [--max-overhead G]
       Compare a fresh record against a recorded baseline. Wall-clock
       and cycles/second are host-dependent, so the gating metric is
       the engine *speedup ratio* per scenario (largely machine
@@ -18,6 +19,18 @@ Two modes:
       cycles/second numbers are printed for the record. Scenarios
       present on only one side are reported but do not fail the run
       (the suite is allowed to grow).
+
+      The tracing overhead gate: the canonical fleet scenario's
+      event-driven cycles/second (tracing compiled in but *disabled*)
+      must stay within (1 - G) x the baseline's (default G = 0.02 —
+      the zero-overhead-off contract in docs/OBSERVABILITY.md).
+      Absolute throughput only compares like with like, so the gate
+      is applied only when both records' smoke flags match, and
+      skipped with a note otherwise.
+
+Records with schema_version 1 (pre-provenance) and 2 (git_sha /
+compiler / build_type / tracing) are both accepted; comparing across
+schema versions warns but does not fail.
 
 Exit status: 0 when every gate passes, 1 otherwise, 2 on bad usage.
 """
@@ -33,7 +46,7 @@ def load(path):
         record = json.load(f)
     if record.get("bench") != "bench_perf_engine":
         sys.exit(f"error: {path} is not a bench_perf_engine record")
-    if record.get("schema_version") != 1:
+    if record.get("schema_version") not in (1, 2):
         sys.exit(f"error: {path} has unsupported schema_version "
                  f"{record.get('schema_version')!r}")
     return record
@@ -66,11 +79,52 @@ def self_check(record, path):
     else:
         print(f"ok    fleet_4board: speedup {canon['speedup']:.1f}x "
               f">= {required:.0f}x, all scenarios bit-identical")
+    tracing = record.get("tracing")
+    if tracing is not None and not tracing.get("same_results", False):
+        print("FAIL  tracing-on A/B: results differ from untraced run")
+        ok = False
     return ok
+
+
+def overhead_gate(baseline, current, max_overhead):
+    """Tracing overhead: canonical event-driven throughput (tracing
+    compiled in, disabled) vs baseline. Only meaningful when both
+    runs did the same amount of work."""
+    b_smoke = bool(baseline.get("smoke", False))
+    c_smoke = bool(current.get("smoke", False))
+    if b_smoke != c_smoke:
+        print(f"note  overhead gate skipped: smoke flags differ "
+              f"(baseline {b_smoke}, current {c_smoke})")
+        return True
+    canon_b = scenarios(baseline).get("fleet_4board")
+    canon_c = scenarios(current).get("fleet_4board")
+    if canon_b is None or canon_c is None:
+        print("note  overhead gate skipped: fleet_4board missing "
+              "from one side")
+        return True
+    b_cps = canon_b["engines"]["event_driven"]["cycles_per_second"]
+    c_cps = canon_c["engines"]["event_driven"]["cycles_per_second"]
+    floor = (1.0 - max_overhead) * b_cps
+    delta = (c_cps - b_cps) / b_cps
+    if c_cps >= floor:
+        print(f"ok    overhead: fleet_4board event-driven "
+              f"{b_cps / 1e6:.0f} -> {c_cps / 1e6:.0f} Mcyc/s "
+              f"({delta:+.2%}, allowed -{max_overhead:.0%})")
+        return True
+    print(f"FAIL  overhead: fleet_4board event-driven throughput "
+          f"fell {delta:+.2%} (allowed -{max_overhead:.0%}): "
+          f"{b_cps / 1e6:.0f} -> {c_cps / 1e6:.0f} Mcyc/s")
+    return False
 
 
 def compare(baseline, current, max_regression):
     ok = True
+    b_schema = baseline.get("schema_version")
+    c_schema = current.get("schema_version")
+    if b_schema != c_schema:
+        print(f"warn  comparing across schema versions "
+              f"({b_schema} baseline vs {c_schema} current); "
+              f"provenance fields may be missing on one side")
     base = scenarios(baseline)
     cur = scenarios(current)
     for name in sorted(set(base) | set(cur)):
@@ -107,6 +161,13 @@ def main():
     parser.add_argument("--max-regression", type=float, default=0.5,
                         help="tolerated fractional speedup drop vs "
                              "baseline (default 0.5)")
+    parser.add_argument("--max-overhead", type=float, default=0.02,
+                        help="tolerated fractional event-driven "
+                             "throughput drop on fleet_4board vs "
+                             "baseline — the tracing-off overhead "
+                             "contract (default 0.02; gate only "
+                             "applies when both records' smoke flags "
+                             "match)")
     args = parser.parse_args()
 
     if args.check:
@@ -119,10 +180,10 @@ def main():
         parser.error("compare mode takes BASELINE.json CURRENT.json")
     baseline = load(pathlib.Path(args.files[0]))
     current = load(pathlib.Path(args.files[1]))
-    if not self_check(current, args.files[1]):
-        sys.exit(1)
-    sys.exit(0 if compare(baseline, current,
-                          args.max_regression) else 1)
+    ok = self_check(current, args.files[1])
+    ok = compare(baseline, current, args.max_regression) and ok
+    ok = overhead_gate(baseline, current, args.max_overhead) and ok
+    sys.exit(0 if ok else 1)
 
 
 if __name__ == "__main__":

@@ -11,9 +11,12 @@ lint enforces the common ways of breaking it statically:
                   from the explicitly seeded Rng.
   unordered-iter  range-for or .begin() iteration over a variable
                   declared as std::unordered_map/unordered_set in a
-                  file that produces *Result data — hash-order walks
-                  feeding results make the outcome depend on pointer
-                  layout. Sort first, or iterate an ordered index.
+                  file that produces *Result data or lives under a
+                  deterministic-export scope (obs/ — the trace/
+                  metrics byte streams the identity tests compare) —
+                  hash-order walks feeding results make the outcome
+                  depend on pointer layout. Sort first, or iterate
+                  an ordered index.
   float-eq        == / != where either operand is a floating-point
                   literal or a variable declared double/float/Cycles,
                   in allocator/accounting code (vnpu/, stats/, sched/,
@@ -41,7 +44,8 @@ import sys
 # Rule name -> one-line summary (kept in sync with the module doc).
 RULES = {
     "banned-random": "unseeded/wall-clock randomness outside common/random",
-    "unordered-iter": "hash-order iteration in a *Result-producing file",
+    "unordered-iter": "hash-order iteration in a *Result-producing "
+                      "or deterministic-export (obs/) file",
     "float-eq": "floating-point ==/!= in allocator/accounting code",
     "naked-new": "naked new/delete",
 }
@@ -86,6 +90,11 @@ FLOAT_LITERAL_RE = re.compile(r"(?<![\w.])(?:\d+\.\d*|\.\d+|\d+e[-+]?\d+)f?")
 NEW_RE = re.compile(r"(?<![\w.:>])new\s+[A-Za-z_(]")
 DELETE_RE = re.compile(r"(?<![\w.:>])delete\b(?!d)")
 RESULT_FILE_RE = re.compile(r"\b\w+Result\b")
+# Path fragments whose files export deterministic byte streams (the
+# trace/metrics JSON the byte-identity tests compare): hash-order
+# iteration is a determinism bug there even when no *Result type is
+# named in the file.
+RESULT_SCOPES = ("obs/",)
 RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*([A-Za-z_]\w*)")
 BEGIN_ITER_RE = re.compile(r"\b([A-Za-z_]\w*)\s*[.]\s*(?:c?begin|c?end)\s*\(")
 # A declaration line introducing an unordered container variable:
@@ -212,7 +221,9 @@ def lint_file(path, rel, findings):
                            "random Rng instead")
 
     # ---- unordered-iter ------------------------------------------
-    if RESULT_FILE_RE.search(code):
+    rel_posix = str(rel).replace("\\", "/")
+    if RESULT_FILE_RE.search(code) or \
+            any(scope in rel_posix for scope in RESULT_SCOPES):
         unordered = set()
         for line in code_lines:
             for m in UNORDERED_DECL_RE.finditer(line):
@@ -227,11 +238,11 @@ def lint_file(path, rel, findings):
                     if name in unordered:
                         report(lineno, "unordered-iter",
                                f"iteration over unordered '{name}' in "
-                               "a *Result-producing file — order is "
-                               "hash/pointer dependent; sort or index")
+                               "a deterministic-output file — order "
+                               "is hash/pointer dependent; sort or "
+                               "index")
 
     # ---- float-eq -------------------------------------------------
-    rel_posix = str(rel).replace("\\", "/")
     if any(scope in rel_posix for scope in FLOAT_EQ_SCOPES):
         float_names = set()
         for line in code_lines:
