@@ -10,78 +10,52 @@
  * outcome isolates what placement and traffic shape do to tails,
  * goodput and rejection rate.
  *
+ * The fleet itself is declarative: this binary is a thin wrapper over
+ * the scenario library (src/scenario, docs/SCENARIOS.md). The
+ * canonical configuration lives in scenarios/cluster_first_fit.scn
+ * and the sweep only varies placement, traffic shape and core policy
+ * on top of the loaded file; tests/test_scenario_parity.cpp pins the
+ * scenario files to the historical hand-wired configs field-by-field.
+ *
  * Usage: bench_cluster_serving [placement] [core-policy]
  *   placement    first-fit | best-fit | load-balanced (default: all)
  *   core-policy  neu10 | neu10-nh | v10 | pmt   (default: neu10)
  * NEU10_SEED=<n> reseeds the traffic generators; NEU10_SMOKE=1
- * shrinks the horizon for CI.
+ * shrinks the horizon for CI (both via scenario applyEnvOverrides).
  */
 
 #include <cstdio>
-#include <cstring>
 #include <vector>
 
 #include "bench_util.hh"
 #include "cluster/fleet.hh"
-#include "vnpu/allocator.hh"
+#include "scenario/runner.hh"
 
 using namespace neu10;
 
 namespace
 {
 
-/** Per-tenant vNPU target utilization (offered load / capacity). */
-const double kRhos[4] = {0.35, 0.55, 0.45, 0.6};
+/** The canonical fleet (tenant mix, rates, SLOs, horizon): one
+ * committed scenario file, shared with tools/neu10_run and the
+ * parity/golden test suites. */
+const char *const kBaseScenario =
+    NEU10_SCENARIO_DIR "/cluster_first_fit.scn";
 
-/** Tenant model mix: two ME-heavy (MNIST, ResNet) and two VE-heavy
- * (NCF, DLRM) services with sub-ms requests, so every tenant sees
- * hundreds of arrivals within the horizon and both engine types
- * matter; DLRM's 21 GiB embedding tables pressure HBM packing. */
-const ModelId kModels[4] = {ModelId::Mnist, ModelId::Ncf,
-                            ModelId::Dlrm, ModelId::ResNet};
-const unsigned kBatches[4] = {32, 32, 32, 8};
-// Mixed EU budgets (2/4/4/6) fragment the bins, so first-fit and
-// best-fit genuinely diverge.
-const unsigned kEus[4] = {2, 4, 4, 6};
-
+/** One sweep point: the loaded scenario with placement, core policy
+ * and traffic shape overridden. */
 FleetConfig
-makeFleet(PlacementPolicy placement, PolicyKind core_policy,
-          TrafficShape shape, unsigned tenants, Cycles horizon,
-          std::uint64_t seed)
+sweepPoint(const Scenario &base, PlacementPolicy placement,
+           PolicyKind core_policy, TrafficShape shape, bool traced)
 {
-    FleetConfig cfg;
-    cfg.numBoards = 4;             // x (2 chips x 2 cores) = 16 cores
-    cfg.placement = placement;
-    cfg.corePolicy = core_policy;
-    cfg.horizon = horizon;
-    cfg.maxCycles = 50.0 * horizon;
-
-    // Size the four unique (model, batch, eus) tuples once; the
-    // tenants cycle through them.
-    Cycles service[4];
-    for (unsigned k = 0; k < 4; ++k)
-        service[k] = sizeVnpuForModel(kModels[k], kBatches[k],
-                                      kEus[k], cfg.board.core)
-                         .serviceEstimate();
-
-    for (unsigned i = 0; i < tenants; ++i) {
-        const unsigned k = i % 4;
-        ClusterTenantSpec t;
-        t.model = kModels[k];
-        t.batch = kBatches[k];
-        t.eus = kEus[k];
-
-        // Rate: rho x the allocator's service-time estimate for this
-        // tenant's own vNPU.
-        t.traffic.shape = shape;
-        t.traffic.ratePerSec =
-            kRhos[k] * cfg.board.core.freqHz / service[k];
-        t.traffic.seed = seed + i;
-        t.sloCycles = 5.0 * service[k];
-        t.maxQueueDepth = 32;
-        cfg.tenants.push_back(t);
-    }
-    return cfg;
+    Scenario s = base;
+    s.placement = placement;
+    s.corePolicy = core_policy;
+    for (ScenarioTenantGroup &g : s.groups)
+        g.traffic.shape = shape;
+    s.trace.enabled = traced;
+    s.trace.metrics = traced;
+    return toFleetConfig(s);
 }
 
 void
@@ -126,21 +100,25 @@ main(int argc, char **argv)
         PlacementPolicy::FirstFit, PlacementPolicy::BestFit,
         PlacementPolicy::LoadBalanced};
     PolicyKind core_policy = PolicyKind::Neu10;
-    if (argc > 1)
-        placements = {placementFromName(argv[1])};
-    if (argc > 2)
-        core_policy = policyFromName(argv[2]);
-
-    const unsigned tenants = 16;
-    const Cycles horizon = bench::smokeMode() ? 1e7 : 1e8;
-    const std::uint64_t seed = bench::benchSeed(42);
+    Scenario base;
+    try {
+        base = loadScenarioFile(kBaseScenario);
+        applyEnvOverrides(base);
+        if (argc > 1)
+            placements = {placementFromName(argv[1])};
+        if (argc > 2)
+            core_policy = policyFromName(argv[2]);
+    } catch (const FatalError &err) {
+        bench::usageError(err);
+    }
 
     bench::header(
         "Cluster serving",
-        csprintf("4 boards x 4 cores, %u tenants, open-loop "
+        csprintf("%u boards x 4 cores, %u tenants, open-loop "
                  "traffic, %s on-core scheduling (seed %llu)",
-                 tenants, policyName(core_policy).c_str(),
-                 static_cast<unsigned long long>(seed)));
+                 base.boards, base.totalTenants(),
+                 policyName(core_policy).c_str(),
+                 static_cast<unsigned long long>(base.seed)));
 
     std::printf("%-14s %-8s %7s %7s %7s %8s %8s %8s %8s %7s %6s\n",
                 "placement", "shape", "arrive", "served", "reject",
@@ -153,25 +131,22 @@ main(int argc, char **argv)
     std::vector<FleetResult> poisson_runs;
     for (PlacementPolicy placement : placements) {
         for (TrafficShape shape : shapes) {
-            FleetConfig cfg =
-                makeFleet(placement, core_policy, shape, tenants,
-                          horizon, seed);
-            // NEU10_TRACE=on: record the first (canonical) run's
+            // NEU10_TRACE=on (applied to the scenario by
+            // applyEnvOverrides): record the first (canonical) run's
             // sim-time trace and epoch metrics.
-            const bool traced = bench::traceMode() &&
+            const bool traced = base.trace.enabled &&
                                 placement == placements.front() &&
                                 shape == TrafficShape::Poisson;
+            const FleetResult r = runFleet(sweepPoint(
+                base, placement, core_policy, shape, traced));
             if (traced) {
-                cfg.trace.enabled = true;
-                cfg.trace.metrics = true;
-            }
-            const FleetResult r = runFleet(cfg);
-            if (traced) {
-                const std::string path = bench::traceOutPath(
-                    "bench_cluster_serving.trace.json");
+                const std::string path =
+                    base.traceOut.empty()
+                        ? "bench_cluster_serving.trace.json"
+                        : base.traceOut;
                 r.trace.writeChromeJson(path);
                 r.metrics.writeJson(path + ".metrics.json",
-                                    cfg.board.core.freqHz);
+                                    base.board.core.freqHz);
                 std::printf("[trace: %llu events -> %s]\n",
                             static_cast<unsigned long long>(
                                 r.trace.totalEvents()),

@@ -23,10 +23,18 @@
  * shrinks — the capacity-planning view of "how much hardware
  * unreliability can this fleet absorb".
  *
+ * The fleet, tenant mix and fault trace are declarative: this binary
+ * is a thin wrapper over the scenario library (src/scenario,
+ * docs/SCENARIOS.md) loading scenarios/resilience_board_loss.scn;
+ * part 1 flips its failover flag, part 2 swaps its fault line for
+ * generated traces. tests/test_scenario_parity.cpp pins the file to
+ * the historical hand-wired config field-by-field.
+ *
  * Usage: bench_resilience [epochs]
  *   epochs  serving epochs (failover granularity; default 10)
  * NEU10_SEED=<n> reseeds traffic and the part-2 fault traces;
- * NEU10_SMOKE=1 shrinks the horizon for CI.
+ * NEU10_SMOKE=1 shrinks the horizon for CI (both via scenario
+ * applyEnvOverrides).
  */
 
 #include <cstdio>
@@ -36,52 +44,18 @@
 #include "bench_util.hh"
 #include "cluster/fleet.hh"
 #include "resilience/faults.hh"
-#include "vnpu/allocator.hh"
+#include "scenario/runner.hh"
 
 using namespace neu10;
 
 namespace
 {
 
-/** 16 mixed tenants load-balanced over 4 boards x 4 cores. */
-FleetConfig
-baseFleet(Cycles horizon, std::uint64_t seed, unsigned epochs)
-{
-    FleetConfig cfg;
-    cfg.numBoards = 4; // x (2 chips x 2 cores) = 16 cores
-    cfg.placement = PlacementPolicy::LoadBalanced;
-    cfg.horizon = horizon;
-    cfg.maxCycles = 50.0 * horizon;
-    cfg.elastic.epochs = epochs;
-    // Rebalancing stays armed (threshold 0.1 default) — failover and
-    // elasticity are designed to coexist.
-    cfg.resilience.recoveryStallCycles = 2e5;
-    // Results are bit-identical at any width; use the host.
-    cfg.threads = 0;
-
-    const ModelId models[4] = {ModelId::Mnist, ModelId::Ncf,
-                               ModelId::Dlrm, ModelId::ResNet};
-    const unsigned batches[4] = {32, 32, 32, 8};
-    const unsigned eus[4] = {2, 4, 4, 6};
-    for (unsigned i = 0; i < 16; ++i) {
-        const unsigned k = i % 4;
-        const Cycles service =
-            sizeVnpuForModel(models[k], batches[k], eus[k],
-                             cfg.board.core)
-                .serviceEstimate();
-        ClusterTenantSpec t;
-        t.model = models[k];
-        t.batch = batches[k];
-        t.eus = eus[k];
-        t.traffic.ratePerSec =
-            0.4 * cfg.board.core.freqHz / service;
-        t.traffic.seed = seed + i;
-        t.sloCycles = 8.0 * service;
-        t.maxQueueDepth = 64;
-        cfg.tenants.push_back(t);
-    }
-    return cfg;
-}
+/** The acceptance fleet + board-loss fault trace, as a committed
+ * scenario file shared with tools/neu10_run and the parity/golden
+ * test suites. */
+const char *const kBaseScenario =
+    NEU10_SCENARIO_DIR "/resilience_board_loss.scn";
 
 void
 row(const char *name, const FleetResult &r)
@@ -99,36 +73,28 @@ row(const char *name, const FleetResult &r)
 }
 
 void
-partBoardLoss(Cycles horizon, std::uint64_t seed, unsigned epochs)
+partBoardLoss(const Scenario &scn)
 {
-    FaultEvent loss;
-    loss.at = 0.3 * horizon;
-    loss.kind = FaultKind::BoardLoss;
-    loss.board = 1;
-    loss.durationCycles = kCyclesInf;
-
-    auto scenario = [&](bool failover) {
-        FleetConfig cfg = baseFleet(horizon, seed, epochs);
-        cfg.resilience.faults = {loss};
-        cfg.resilience.failover = failover;
+    auto variant = [&](bool failover) {
+        Scenario s = scn;
+        s.failover = failover;
         // NEU10_TRACE=on: record the failover run — board loss,
         // quarantine, checkpoint/restore and the hypercall churn are
         // all reconstructable from the trace alone.
-        if (failover && bench::traceMode()) {
-            cfg.trace.enabled = true;
-            cfg.trace.metrics = true;
-        }
-        return runFleet(cfg);
+        const bool traced = failover && scn.trace.enabled;
+        s.trace.enabled = traced;
+        s.trace.metrics = traced;
+        return runFleet(toFleetConfig(s));
     };
-    const FleetResult base = scenario(false);
-    const FleetResult fo = scenario(true);
-    if (bench::traceMode()) {
+    const FleetResult base = variant(false);
+    const FleetResult fo = variant(true);
+    if (scn.trace.enabled) {
         const std::string path =
-            bench::traceOutPath("bench_resilience.trace.json");
+            scn.traceOut.empty() ? "bench_resilience.trace.json"
+                                 : scn.traceOut;
         fo.trace.writeChromeJson(path);
         fo.metrics.writeJson(path + ".metrics.json",
-                             baseFleet(horizon, seed, epochs)
-                                 .board.core.freqHz);
+                             scn.board.core.freqHz);
         std::printf("[trace: %llu events -> %s]\n",
                     static_cast<unsigned long long>(
                         fo.trace.totalEvents()),
@@ -136,8 +102,9 @@ partBoardLoss(Cycles horizon, std::uint64_t seed, unsigned epochs)
     }
 
     std::printf("Part 1: board 1 lost at 30%% of the horizon, never "
-                "repaired — 16 cores, 16 tenants, %u epochs\n",
-                epochs);
+                "repaired — %u cores, %u tenants, %u epochs\n",
+                scn.totalCores(), scn.totalTenants(),
+                scn.elastic.epochs);
     std::printf("%-12s %8s %8s %7s %7s %9s %10s %9s %8s %8s\n",
                 "engine", "arrived", "served", "lost", "recov",
                 "SLO-met", "goodput", "p99 (ms)", "avail",
@@ -182,18 +149,27 @@ partBoardLoss(Cycles horizon, std::uint64_t seed, unsigned epochs)
 }
 
 void
-partFaultSweep(Cycles horizon, std::uint64_t seed, unsigned epochs)
+partFaultSweep(const Scenario &scn)
 {
-    const FleetConfig proto = baseFleet(horizon, seed, epochs);
+    // Part 2 reuses the scenario's fleet and traffic without the
+    // board-loss line or tracing; each sweep point injects its own
+    // generated fault trace instead.
+    Scenario clean = scn;
+    clean.faults.clear();
+    clean.trace = TraceConfig{};
+    const FleetConfig proto = toFleetConfig(clean);
     const FleetTopology topo{proto.numBoards,
                              proto.board.totalCores()};
+    const Cycles horizon = clean.effectiveHorizon();
     const double horizon_sec = horizon / proto.board.core.freqHz;
+    const std::uint64_t seed = scn.seed;
 
     // Fault intensity: MTBFs expressed as fractions of the horizon
     // so the sweep is horizon-independent. "1x" means roughly one
     // core stall per core and one board loss somewhere per run.
     std::vector<double> intensities = {0.0, 0.5, 1.0, 2.0, 4.0};
-    intensities = bench::smokeTrim(std::move(intensities), 3);
+    if (scn.smoke && intensities.size() > 3)
+        intensities.resize(3);
 
     std::printf("\nPart 2: stochastic fault sweep (failover on) — "
                 "transients + core stalls + board losses w/ repair\n");
@@ -235,24 +211,27 @@ partFaultSweep(Cycles horizon, std::uint64_t seed, unsigned epochs)
 int
 main(int argc, char **argv)
 {
-    unsigned epochs = 10;
-    if (argc > 1)
-        epochs = static_cast<unsigned>(
-            std::strtoul(argv[1], nullptr, 10));
-    if (epochs < 2) {
-        std::fprintf(stderr, "failover needs >= 2 epochs; using 2\n");
-        epochs = 2;
+    Scenario base;
+    try {
+        base = loadScenarioFile(kBaseScenario);
+        applyEnvOverrides(base);
+    } catch (const FatalError &err) {
+        bench::usageError(err);
     }
-
-    const Cycles horizon = bench::smokeMode() ? 8e6 : 4e7;
-    const std::uint64_t seed = bench::benchSeed(42);
+    if (argc > 1)
+        base.elastic.epochs = static_cast<unsigned>(
+            std::strtoul(argv[1], nullptr, 10));
+    if (base.elastic.epochs < 2) {
+        std::fprintf(stderr, "failover needs >= 2 epochs; using 2\n");
+        base.elastic.epochs = 2;
+    }
 
     bench::header(
         "Resilience",
         csprintf("fault injection + vNPU failover (seed %llu)",
-                 static_cast<unsigned long long>(seed)));
+                 static_cast<unsigned long long>(base.seed)));
 
-    partBoardLoss(horizon, seed, epochs);
-    partFaultSweep(horizon, seed, epochs);
+    partBoardLoss(base);
+    partFaultSweep(base);
     return 0;
 }

@@ -105,13 +105,13 @@ traceMode()
 /**
  * Trace output path: NEU10_TRACE_OUT when set, @p fallback
  * otherwise. The metrics JSON lands at "<path>.metrics.json".
+ * Scenario-backed benches get this via applyEnvOverrides instead
+ * (scenario/scenario.hh), which uses the same envString grammar.
  */
 inline std::string
 traceOutPath(const char *fallback)
 {
-    const char *env = std::getenv("NEU10_TRACE_OUT");
-    return env != nullptr && env[0] != '\0' ? std::string(env)
-                                            : std::string(fallback);
+    return envString("NEU10_TRACE_OUT", fallback);
 }
 
 /** Print the bench banner. */

@@ -75,4 +75,13 @@ envFlag(const char *name, bool fallback)
     return parseFlag(v, name);
 }
 
+std::string
+envString(const char *name, const std::string &fallback)
+{
+    const char *v = std::getenv(name); // NOLINT(concurrency-mt-unsafe)
+    if (v == nullptr || v[0] == '\0')
+        return fallback;
+    return v;
+}
+
 } // namespace neu10

@@ -47,6 +47,11 @@ std::uint64_t envUint64(const char *name, std::uint64_t fallback);
  * @throws FatalError when set to something unparsable. */
 bool envFlag(const char *name, bool fallback);
 
+/** Read env var @p name as a string; unset/empty = @p fallback.
+ * Strings have no grammar to harden, but routing them through here
+ * keeps every harness knob on one getenv() path (and one NOLINT). */
+std::string envString(const char *name, const std::string &fallback);
+
 } // namespace neu10
 
 #endif // NEU10_COMMON_ENV_HH

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "common/strings.hh"
 
 namespace neu10
 {
@@ -19,6 +20,27 @@ faultKindName(FaultKind kind)
       case FaultKind::Repair: return "repair";
     }
     panic("unknown fault kind %d", static_cast<int>(kind));
+}
+
+FaultKind
+faultKindFromName(const std::string &name)
+{
+    const std::string low = toLower(name);
+    if (low == "transient-mmio")
+        return FaultKind::TransientMmio;
+    if (low == "transient-dma")
+        return FaultKind::TransientDma;
+    if (low == "core-stall")
+        return FaultKind::CoreStall;
+    if (low == "board-loss")
+        return FaultKind::BoardLoss;
+    if (low == "repair")
+        return FaultKind::Repair;
+    // Never fall back silently: a scenario-file typo must fail loudly
+    // with the full accepted vocabulary, not inject a default fault.
+    fatal("unknown fault kind '%s'; valid names are 'transient-mmio', "
+          "'transient-dma', 'core-stall', 'board-loss' and 'repair' "
+          "(case-insensitive)", name.c_str());
 }
 
 bool

@@ -60,6 +60,9 @@ enum class FaultKind
 /** Human-readable kind name ("transient-mmio", ...). */
 std::string faultKindName(FaultKind kind);
 
+/** Parse a kind name (case-insensitive). @throws FatalError. */
+FaultKind faultKindFromName(const std::string &name);
+
 /** True for faults that kill device-side vNPU state (core/board). */
 bool faultIsFatal(FaultKind kind);
 

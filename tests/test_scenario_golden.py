@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Golden-output regression check for the scenario runner.
+
+Runs ``neu10_run <scenario> --smoke --json=<tmp>`` and byte-compares
+the JSON record against the checked-in golden
+(``scenarios/goldens/<name>.json``). The record is deterministic by
+contract (stable key order, shortest round-trip doubles, no
+wall-clock/host/path fields), so an exact byte diff is the right
+comparison: any difference is either a real behavior change or a
+broken determinism contract, and both must be looked at.
+
+Usage:
+    test_scenario_golden.py RUNNER SCENARIO GOLDEN [--regen]
+
+With ``--regen`` the golden is rewritten instead of compared — run
+after an intentional behavior change, then commit the diff:
+
+    for s in scenarios/*.scn; do
+        python3 tests/test_scenario_golden.py build/tools/neu10_run \\
+            "$s" "scenarios/goldens/$(basename "$s" .scn).json" --regen
+    done
+
+Exit codes: 0 match (or regenerated), 1 mismatch, 2 usage/run error.
+"""
+
+import difflib
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+# Harness env knobs would change the record under the caller's feet
+# (a stray NEU10_SEED would fail every golden); the comparison always
+# runs the scenario exactly as committed.
+HARNESS_VARS = ("NEU10_SEED", "NEU10_SMOKE", "NEU10_TRACE",
+                "NEU10_TRACE_OUT")
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--regen"]
+    regen = "--regen" in argv[1:]
+    if len(args) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    runner, scenario, golden = map(pathlib.Path, args)
+
+    env = {k: v for k, v in os.environ.items()
+           if k not in HARNESS_VARS}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = pathlib.Path(tmp) / "result.json"
+        cmd = [str(runner), str(scenario), "--smoke",
+               f"--json={out}"]
+        proc = subprocess.run(cmd, env=env, capture_output=True,
+                              text=True)
+        if proc.returncode != 0:
+            print(f"error: {' '.join(cmd)} exited "
+                  f"{proc.returncode}\n{proc.stderr}",
+                  file=sys.stderr)
+            return 2
+        got = out.read_bytes()
+
+    if regen:
+        golden.parent.mkdir(parents=True, exist_ok=True)
+        golden.write_bytes(got)
+        print(f"regenerated {golden}")
+        return 0
+
+    if not golden.exists():
+        print(f"error: golden {golden} does not exist; generate it "
+              f"with --regen and commit it", file=sys.stderr)
+        return 1
+    want = golden.read_bytes()
+    if got == want:
+        print(f"ok: {scenario.name} matches {golden.name} "
+              f"({len(got)} bytes)")
+        return 0
+
+    diff = difflib.unified_diff(
+        want.decode(errors="replace").splitlines(keepends=True),
+        got.decode(errors="replace").splitlines(keepends=True),
+        fromfile=str(golden), tofile="neu10_run output")
+    sys.stderr.writelines(diff)
+    print(f"\nerror: {scenario.name} diverged from its golden. If "
+          f"the change is intentional, regenerate with:\n  python3 "
+          f"tests/test_scenario_golden.py {runner} {scenario} "
+          f"{golden} --regen\nand commit the updated golden.",
+          file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
