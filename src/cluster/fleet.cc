@@ -71,6 +71,12 @@ runFleet(const FleetConfig &config)
     NEU10_ASSERT(config.totalCores() > 0, "fleet needs cores");
     NEU10_ASSERT(config.elastic.epochs >= 1,
                  "fleet needs at least one epoch");
+    const bool llm_mode =
+        config.servingMode == ServingMode::LlmContinuous;
+    NEU10_ASSERT(!llm_mode || config.elastic.epochs == 1,
+                 "LLM serving requires elastic.epochs == 1 (sequence "
+                 "lengths are seed-drawn per run and cannot carry "
+                 "across epoch boundaries)");
 
     const NpuCoreConfig &core_cfg = config.board.core;
     const unsigned cores_per_board = config.board.totalCores();
@@ -111,6 +117,18 @@ runFleet(const FleetConfig &config)
     const MetricId mx_pressure = mx.gauge("fleet.pressure_stddev");
     const MetricId mx_pending = mx.gauge("fleet.pending_checkpoints");
     const MetricId mx_epoch_done = mx.histogram("fleet.epoch_completed");
+    // LLM-mode metrics are registered only when the mode is active so
+    // the exported metric set (and trace goldens) of request-serving
+    // runs is unchanged.
+    MetricId mx_llm_tokens = 0, mx_llm_prefills = 0;
+    MetricId mx_llm_decode = 0, mx_llm_preempt = 0, mx_llm_occ = 0;
+    if (llm_mode) {
+        mx_llm_tokens = mx.counter("llm.tokens");
+        mx_llm_prefills = mx.counter("llm.prefills");
+        mx_llm_decode = mx.counter("llm.decode_iterations");
+        mx_llm_preempt = mx.counter("llm.preemptions");
+        mx_llm_occ = mx.gauge("llm.kv_occupancy");
+    }
 
     // ---- size every vNPU and bin-pack the fleet -------------------
     // Placement is fault-oblivious: the trace is the future, and the
@@ -224,9 +242,10 @@ runFleet(const FleetConfig &config)
     // host threads share the read-only programs (NeuISA binaries are
     // compiled against the physical core shape, so resized engine
     // grants execute the same code, §III-D).
+    // LLM serving prices phases analytically (no compiled program).
     std::vector<CompiledModel> programs(num_tenants);
     pool.parallelFor(num_tenants, [&](size_t i) {
-        if (!result.placements[i].placed())
+        if (llm_mode || !result.placements[i].placed())
             return;
         TenantSpec ts;
         ts.model = config.tenants[i].model;
@@ -334,7 +353,8 @@ runFleet(const FleetConfig &config)
             ServingConfig &sc = runs[k];
             sc.core = core_cfg;
             sc.policy = config.corePolicy;
-            sc.mode = ServingMode::OpenLoop;
+            sc.mode = config.servingMode;
+            sc.llm = config.llm;
             sc.engine = config.engine;
             sc.maxCycles = config.maxCycles;
             sc.trace = config.trace;
@@ -352,7 +372,14 @@ runFleet(const FleetConfig &config)
                 ts.priority = spec.priority;
                 ts.maxQueueDepth = spec.maxQueueDepth;
                 ts.sloCycles = spec.sloCycles;
-                ts.program = &programs[i];
+                ts.program = llm_mode ? nullptr : &programs[i];
+                // The KV pool is carved from the placement's actual
+                // (segment-rounded) HBM reservation; the length
+                // stream reuses the traffic seed through a fixed
+                // mix so arrivals and lengths stay decorrelated.
+                ts.hbmBytes = pl.hbmBytes;
+                ts.llmSeed =
+                    spec.traffic.seed ^ 0x6c6c6d5f6e657531ull;
                 // Carried backlog resumes here; a freshly migrated
                 // or restored vNPU additionally stalls for its move
                 // or recovery cost, and transient faults add their
@@ -396,6 +423,10 @@ runFleet(const FleetConfig &config)
         // The controller's epoch span covers the window — or, in the
         // final (draining) epoch, out to the slowest core's drain.
         Cycles epoch_span_end = epoch_end;
+        std::uint64_t llm_tokens = 0, llm_prefills = 0;
+        std::uint64_t llm_decode = 0, llm_preempt = 0;
+        double llm_occ_sum = 0.0;
+        unsigned llm_endpoints = 0;
         std::vector<double> pressure(num_cores, 0.0);
         std::vector<double> tenant_pressure(num_tenants, 0.0);
         for (size_t k = 0; k < occupied.size(); ++k) {
@@ -425,6 +456,32 @@ runFleet(const FleetConfig &config)
                 acc.sloMet += tr.sloMet;
                 acc.reclaims += tr.reclaims;
                 acc.latencyCycles.merge(tr.latencyCycles);
+                if (llm_mode) {
+                    // Single-epoch by construction (asserted above),
+                    // so the time-weighted means copy through
+                    // unweighted.
+                    LlmEndpointStats &al = acc.llm;
+                    const LlmEndpointStats &el = tr.llm;
+                    al.tokensGenerated += el.tokensGenerated;
+                    al.prefills += el.prefills;
+                    al.decodeIterations += el.decodeIterations;
+                    al.preemptions += el.preemptions;
+                    al.kvPages = el.kvPages;
+                    al.kvPageHighWater = std::max(
+                        al.kvPageHighWater, el.kvPageHighWater);
+                    al.kvAllocOps += el.kvAllocOps;
+                    al.kvFreeOps += el.kvFreeOps;
+                    al.kvFailedAllocs += el.kvFailedAllocs;
+                    al.kvOccupancyMean = el.kvOccupancyMean;
+                    al.kvFragMean = el.kvFragMean;
+                    al.ttftCycles.merge(el.ttftCycles);
+                    llm_tokens += el.tokensGenerated;
+                    llm_prefills += el.prefills;
+                    llm_decode += el.decodeIterations;
+                    llm_preempt += el.preemptions;
+                    llm_occ_sum += el.kvOccupancyMean;
+                    ++llm_endpoints;
+                }
                 blocked_cycles[i] += tr.blockedFrac * measured;
                 core_completed[c] += tr.completed;
                 er.completed += tr.completed;
@@ -685,6 +742,16 @@ runFleet(const FleetConfig &config)
         mx.add(mx_restores, er.restores);
         mx.set(mx_pressure, er.pressureStddev);
         mx.set(mx_pending, static_cast<double>(pending.size()));
+        if (llm_mode) {
+            mx.add(mx_llm_tokens, static_cast<double>(llm_tokens));
+            mx.add(mx_llm_prefills,
+                   static_cast<double>(llm_prefills));
+            mx.add(mx_llm_decode, static_cast<double>(llm_decode));
+            mx.add(mx_llm_preempt, static_cast<double>(llm_preempt));
+            mx.set(mx_llm_occ,
+                   llm_endpoints > 0 ? llm_occ_sum / llm_endpoints
+                                     : 0.0);
+        }
         mx.observe(mx_epoch_done, static_cast<double>(er.completed));
         mx.sample(epoch_span_end);
         result.epochReports.push_back(er);
@@ -744,6 +811,8 @@ runFleet(const FleetConfig &config)
         // so tenants on early-draining cores are not flattered.
         tr.throughput = tr.completed / secs;
         tr.goodput = tr.sloMet / secs;
+        tr.llm.tokensPerSecond =
+            static_cast<double>(tr.llm.tokensGenerated) / secs;
         tr.blockedFrac =
             blocked_cycles[i] / std::max(1.0, result.makespan);
         result.submitted += tr.submitted;

@@ -152,6 +152,22 @@ struct FleetConfig
     /** On-core scheduling design (PMT / V10 / Neu10-NH / Neu10). */
     PolicyKind corePolicy = PolicyKind::Neu10;
 
+    /**
+     * How each core serves its tenants: the event-driven open-loop
+     * request simulation (default), or token-level LLM serving
+     * (ServingMode::LlmContinuous — every tenant must run the LLaMA
+     * model; sequences flow through the continuous-batching loop of
+     * llm/llm_serving.hh with per-tenant KV pools carved from the
+     * placements' HBM reservations). LLM mode requires
+     * elastic.epochs == 1: sequence lengths are drawn per run from
+     * the tenant seed, so carrying half-decoded sequences across an
+     * epoch boundary would re-draw them.
+     */
+    ServingMode servingMode = ServingMode::OpenLoop;
+
+    /** LLM serving knobs (used when servingMode is LlmContinuous). */
+    LlmParams llm;
+
     PlacementPolicy placement = PlacementPolicy::FirstFit;
 
     std::vector<ClusterTenantSpec> tenants;

@@ -1,0 +1,214 @@
+#include "llm/kv_pool.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace neu10
+{
+namespace llm
+{
+
+double
+KvPoolStats::fragmentationFrac(std::uint32_t pageTokens) const
+{
+    const std::uint64_t capacity =
+        static_cast<std::uint64_t>(usedPages) * pageTokens;
+    if (capacity == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(usedTokens) /
+                     static_cast<double>(capacity);
+}
+
+KvPool::KvPool(std::uint32_t numPages, std::uint32_t pageTokens)
+    : pageTokens_(pageTokens)
+{
+    if (pageTokens == 0)
+        fatal("KvPool: pageTokens must be >= 1");
+    stats_.totalPages = numPages;
+    // Stack the ids so the first allocation takes page 0 (pop_back
+    // of a descending stack): page handout order is then a pure
+    // function of the call sequence.
+    freeList_.reserve(numPages);
+    for (std::uint32_t i = numPages; i > 0; --i)
+        freeList_.push_back(i - 1);
+}
+
+std::uint32_t
+KvPool::pagesFor(std::uint64_t tokens) const
+{
+    return static_cast<std::uint32_t>(
+        (tokens + pageTokens_ - 1) / pageTokens_);
+}
+
+std::uint32_t
+KvPool::ensureTokens(SeqId seq, std::uint64_t tokens)
+{
+    lastGrowFailed_ = false;
+    const std::uint32_t want = pagesFor(tokens);
+    auto it = held_.find(seq);
+    const std::uint32_t have =
+        it == held_.end()
+            ? 0
+            : static_cast<std::uint32_t>(it->second.size());
+    if (want > have) {
+        const std::uint32_t need = want - have;
+        if (need > freeList_.size()) {
+            ++stats_.failedAllocs;
+            lastGrowFailed_ = true;
+            return 0;
+        }
+        auto &list = (it == held_.end()) ? held_[seq] : it->second;
+        for (std::uint32_t i = 0; i < need; ++i) {
+            list.push_back(freeList_.back());
+            freeList_.pop_back();
+        }
+        stats_.usedPages += need;
+        stats_.allocOps += need;
+        stats_.highWaterPages =
+            std::max(stats_.highWaterPages, stats_.usedPages);
+        auto &rec = tokens_[seq];
+        stats_.usedTokens += tokens - rec;
+        rec = tokens;
+        return need;
+    }
+    // Already covered: only the live-token count moves.
+    if (tokens > 0 || it != held_.end()) {
+        auto &rec = tokens_[seq];
+        if (tokens > rec) {
+            stats_.usedTokens += tokens - rec;
+            rec = tokens;
+        }
+    }
+    return 0;
+}
+
+std::uint32_t
+KvPool::release(SeqId seq)
+{
+    auto it = held_.find(seq);
+    if (it == held_.end())
+        return 0;
+    const std::uint32_t freed =
+        static_cast<std::uint32_t>(it->second.size());
+    // Return pages in reverse allocation order so the LIFO free list
+    // hands them back in the order they were taken.
+    for (auto rit = it->second.rbegin(); rit != it->second.rend();
+         ++rit)
+        freeList_.push_back(*rit);
+    held_.erase(it);
+    auto tit = tokens_.find(seq);
+    if (tit != tokens_.end()) {
+        stats_.usedTokens -= tit->second;
+        tokens_.erase(tit);
+    }
+    stats_.usedPages -= freed;
+    stats_.freeOps += freed;
+    return freed;
+}
+
+std::uint32_t
+KvPool::pagesHeld(SeqId seq) const
+{
+    auto it = held_.find(seq);
+    return it == held_.end()
+               ? 0
+               : static_cast<std::uint32_t>(it->second.size());
+}
+
+std::uint64_t
+KvPool::tokensHeld(SeqId seq) const
+{
+    auto it = tokens_.find(seq);
+    return it == tokens_.end() ? 0 : it->second;
+}
+
+const std::vector<KvPageId> *
+KvPool::pages(SeqId seq) const
+{
+    auto it = held_.find(seq);
+    return it == held_.end() ? nullptr : &it->second;
+}
+
+std::vector<SeqId>
+KvPool::holders() const
+{
+    std::vector<SeqId> out;
+    out.reserve(held_.size());
+    for (const auto &[seq, list] : held_)
+        out.push_back(seq);
+    return out;
+}
+
+KvPool::Snapshot
+KvPool::snapshot() const
+{
+    Snapshot snap;
+    snap.pageTokens = pageTokens_;
+    snap.seqTokens.reserve(tokens_.size());
+    for (const auto &[seq, toks] : tokens_)
+        snap.seqTokens.emplace_back(seq, toks);
+    return snap;
+}
+
+void
+KvPool::restore(const Snapshot &snap)
+{
+    if (stats_.usedPages != 0 || !held_.empty())
+        fatal("KvPool::restore: target pool is not empty "
+              "(%u pages in use)", stats_.usedPages);
+    if (snap.pageTokens != pageTokens_)
+        fatal("KvPool::restore: page size mismatch (%u vs %u tokens)",
+              snap.pageTokens, pageTokens_);
+    for (const auto &[seq, toks] : snap.seqTokens) {
+        ensureTokens(seq, toks);
+        if (lastGrowFailed_)
+            fatal("KvPool::restore: pool of %u pages cannot cover "
+                  "the checkpoint image", stats_.totalPages);
+    }
+    audit();
+}
+
+void
+KvPool::audit() const
+{
+    std::uint64_t held = 0;
+    for (const auto &[seq, list] : held_)
+        held += list.size();
+    if (held != stats_.usedPages)
+        fatal("KvPool::audit: page lists hold %llu pages but "
+              "usedPages says %u",
+              static_cast<unsigned long long>(held),
+              stats_.usedPages);
+    if (stats_.usedPages + freeList_.size() != stats_.totalPages)
+        fatal("KvPool::audit: conservation broken (%u used + %zu "
+              "free != %u total)",
+              stats_.usedPages, freeList_.size(), stats_.totalPages);
+    // Every page id on exactly one list, exactly once.
+    std::vector<bool> seen(stats_.totalPages, false);
+    auto mark = [&](KvPageId id) {
+        if (id >= stats_.totalPages)
+            fatal("KvPool::audit: page id %u out of range", id);
+        if (seen[id])
+            fatal("KvPool::audit: page %u double-booked", id);
+        seen[id] = true;
+    };
+    for (KvPageId id : freeList_)
+        mark(id);
+    for (const auto &[seq, list] : held_) {
+        for (KvPageId id : list)
+            mark(id);
+        // Holder list must cover its live tokens exactly.
+        auto tit = tokens_.find(seq);
+        const std::uint64_t toks =
+            tit == tokens_.end() ? 0 : tit->second;
+        if (pagesFor(toks) > list.size())
+            fatal("KvPool::audit: seq %llu holds %zu pages for "
+                  "%llu tokens",
+                  static_cast<unsigned long long>(seq), list.size(),
+                  static_cast<unsigned long long>(toks));
+    }
+}
+
+} // namespace llm
+} // namespace neu10

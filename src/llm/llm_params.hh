@@ -1,0 +1,97 @@
+/**
+ * @file
+ * LLM-serving knobs and per-tenant statistics.
+ *
+ * This header is the thin interface between the generic serving layer
+ * (runtime/serving.hh embeds LlmParams in ServingConfig and
+ * LlmEndpointStats in TenantResult) and the LLM subsystem proper
+ * (llm/llm_serving.hh). It deliberately pulls in nothing beyond the
+ * stats layer so runtime/serving.hh stays free of llm/ internals.
+ */
+
+#ifndef NEU10_LLM_LLM_PARAMS_HH
+#define NEU10_LLM_LLM_PARAMS_HH
+
+#include <cstdint>
+
+#include "stats/distribution.hh"
+
+namespace neu10
+{
+
+/** How sequences are grouped into decode batches. */
+enum class LlmScheduler
+{
+    /** Continuous batching: new sequences prefill into the running
+     * decode batch as soon as KV pages are free; completed sequences
+     * free their pages immediately so queued ones join mid-flight. */
+    Continuous = 0,
+
+    /** Naive static batching (the baseline): admit a batch, prefill
+     * it, decode until *every* member finishes; finished slots idle
+     * and their worst-case KV reservation is held until the batch
+     * drains. No admission mid-batch. */
+    StaticBatch,
+};
+
+/** [llm] section knobs (scenario layer) / ServingConfig::llm. */
+struct LlmParams
+{
+    LlmScheduler scheduler = LlmScheduler::Continuous;
+
+    /** KV-cache page granularity in tokens (fixed page size). */
+    unsigned pageTokens = 16;
+
+    /** Max sequences decoding concurrently; 0 = the tenant's batch. */
+    unsigned maxBatch = 0;
+
+    /** Prompt length in tokens: fixed at promptTokens, or drawn
+     * uniformly from [promptTokens, promptTokensMax] per sequence
+     * when promptTokensMax > promptTokens (seeded, deterministic). */
+    unsigned promptTokens = 512;
+    unsigned promptTokensMax = 0;
+
+    /** Output (decoded) length in tokens, same fixed-or-uniform rule. */
+    unsigned outputTokens = 48;
+    unsigned outputTokensMax = 0;
+};
+
+/** Per-tenant LLM serving outcome (rides in TenantResult::llm). */
+struct LlmEndpointStats
+{
+    std::uint64_t tokensGenerated = 0;
+
+    /** Prefill passes, including recomputation after preemption. */
+    std::uint64_t prefills = 0;
+
+    /** Decode iterations this endpoint ran (whole-batch steps). */
+    std::uint64_t decodeIterations = 0;
+
+    /** Sequences evicted by page pressure (pages freed, re-queued). */
+    std::uint64_t preemptions = 0;
+
+    // --- KV pool accounting (llm/kv_pool.hh) -----------------------
+    std::uint32_t kvPages = 0;          ///< pool capacity in pages
+    std::uint32_t kvPageHighWater = 0;  ///< peak pages in use
+    std::uint64_t kvAllocOps = 0;       ///< pages allocated over the run
+    std::uint64_t kvFreeOps = 0;        ///< pages freed over the run
+    std::uint64_t kvFailedAllocs = 0;   ///< refused page-list grows
+
+    /** Time-weighted mean of usedPages / totalPages over the run. */
+    double kvOccupancyMean = 0.0;
+
+    /** Time-weighted mean internal fragmentation: the fraction of
+     * allocated page capacity not holding live tokens. */
+    double kvFragMean = 0.0;
+
+    /** Time to first token, arrival -> end of the decode iteration
+     * that produced the sequence's first token (cycles). */
+    Distribution ttftCycles;
+
+    /** Generated tokens per second of simulated time. */
+    double tokensPerSecond = 0.0;
+};
+
+} // namespace neu10
+
+#endif // NEU10_LLM_LLM_PARAMS_HH

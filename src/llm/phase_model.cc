@@ -1,0 +1,125 @@
+#include "llm/phase_model.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "common/strings.hh"
+
+namespace neu10
+{
+namespace llm
+{
+
+namespace
+{
+
+/** Peak MACs per cycle of one 128x128 weight-stationary ME. */
+constexpr double kMeMacsPerCycle = 128.0 * 128.0;
+
+/** Fixed per-phase launch/sync cost (host dispatch, uTask setup). */
+constexpr double kPhaseOverheadCycles = 4096.0;
+
+} // anonymous namespace
+
+const LlmModelSpec &
+llamaSpec()
+{
+    static const LlmModelSpec spec; // defaults are LLaMA2-13B
+    return spec;
+}
+
+void
+emitPrefillOps(GraphBuilder &g, const LlmModelSpec &spec, double b)
+{
+    const double h = spec.hidden, s = spec.promptTokens;
+    const double layer_params = spec.layerParams();
+
+    // 512 tokens in parallel, per layer-chunk.
+    g.embedding("embed", b * s, h, 2.0, {});
+    for (unsigned c = 0; c < spec.prefillChunks; ++c) {
+        const std::string p = csprintf("prefill%u.", c);
+        const double lp =
+            spec.layers / spec.prefillChunks; // layers in this chunk
+        g.matmul(p + "proj", b * s, h, lp * layer_params / h,
+                 /*wf=*/1.0, /*spill=*/0.1);
+        g.matmul(p + "attn", b * s, s, lp * h, /*wf=*/0.1);
+        g.vector(p + "softmax_norm", b * lp * spec.layers * s * s,
+                 2.0);
+    }
+}
+
+void
+emitDecodeOps(GraphBuilder &g, const LlmModelSpec &spec, double b)
+{
+    const double h = spec.hidden, s = spec.promptTokens;
+
+    // dec_steps tokens, each re-streaming all weights and the KV
+    // cache. Two weight-halves per step keep op granularity
+    // reasonable; M = batch gives ~6% systolic fill.
+    const double half_params = spec.layers * spec.layerParams() / 2.0;
+    for (unsigned t = 0; t < spec.decodeSteps; ++t) {
+        const std::string p = csprintf("dec%u.", t);
+        g.matmul(p + "gemv_a", b, h, half_params / h,
+                 /*wf=*/1.0, /*spill=*/0.0);
+        g.matmul(p + "gemv_b", b, h, half_params / h,
+                 /*wf=*/1.0, /*spill=*/0.0);
+        // Attention against the KV cache: VE work plus the cache read.
+        g.vector(p + "kv_attn", b * spec.layers * (s + t) * 128, 2.0,
+                 static_cast<Bytes>(b) * spec.kvPerSample);
+        g.vector(p + "norm_sample", b * h * spec.layers, 4.0);
+    }
+}
+
+Bytes
+prefillBytes(const LlmModelSpec &spec, std::uint64_t promptTokens)
+{
+    return spec.weightBytes + promptTokens * spec.kvBytesPerToken();
+}
+
+Bytes
+decodeStepBytes(const LlmModelSpec &spec, std::uint64_t contextTokens)
+{
+    return spec.weightBytes + contextTokens * spec.kvBytesPerToken();
+}
+
+Cycles
+prefillCycles(const LlmModelSpec &spec, std::uint64_t promptTokens,
+              const NpuCoreConfig &core, unsigned nMes,
+              double bwShare)
+{
+    // Projection/FFN MACs (one per parameter per token) plus the
+    // quadratic attention term; large M fills the array (eff = 1).
+    const double tokens = static_cast<double>(promptTokens);
+    const double macs =
+        tokens * spec.layers * spec.layerParams() +
+        tokens * tokens * spec.hidden * spec.layers;
+    const double compute =
+        macs / (static_cast<double>(nMes) * kMeMacsPerCycle);
+    const double stream =
+        static_cast<double>(prefillBytes(spec, promptTokens)) /
+        (core.hbmBytesPerCycle() * bwShare);
+    return std::max(compute, stream) + kPhaseOverheadCycles;
+}
+
+Cycles
+decodeStepCycles(const LlmModelSpec &spec, std::uint64_t runningSeqs,
+                 std::uint64_t contextTokens,
+                 const NpuCoreConfig &core, unsigned nMes,
+                 double bwShare)
+{
+    const double stream =
+        static_cast<double>(decodeStepBytes(spec, contextTokens)) /
+        (core.hbmBytesPerCycle() * bwShare);
+    // GEMV occupancy: M = batch fills batch/128 of the array.
+    const double fill =
+        std::min(1.0, static_cast<double>(runningSeqs) / 128.0);
+    const double macs = static_cast<double>(runningSeqs) *
+                        spec.layers * spec.layerParams();
+    const double compute =
+        macs /
+        (static_cast<double>(nMes) * kMeMacsPerCycle * fill);
+    return std::max(stream, compute) + kPhaseOverheadCycles;
+}
+
+} // namespace llm
+} // namespace neu10

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The LLM phase model: one source of truth for the LLaMA2-13B shape
+ * (§V-F) and the prefill/decode cost structure derived from it.
+ *
+ * Two consumers share it:
+ *
+ *  - The model zoo: models/llm.cc builds the closed-loop §V-F graph
+ *    (`bench_fig27_llm`) by emitting the prefill and decode operator
+ *    streams through emitPrefillOps()/emitDecodeOps(). The emission
+ *    reproduces the original hand-rolled generation digit-for-digit
+ *    (pinned by tests/test_llm.cpp parity cases).
+ *
+ *  - Token-level serving (llm/llm_serving.hh): continuous batching
+ *    advances whole decode batches one token at a time, far past the
+ *    operator granularity the core simulator is built for, so the
+ *    serving loop prices phases analytically with the roofline
+ *    functions below instead of replaying graphs. Both views use the
+ *    same constants, so the closed-loop graph and the token-level
+ *    costs cannot drift apart.
+ *
+ * Cost structure (matches the graph's character): prefill processes
+ * the whole prompt in parallel — large, array-filling matmuls, so it
+ * is compute-bound on the matrix engines with a weight-stream floor.
+ * Decode emits one token per sequence per iteration — every
+ * iteration re-streams all weights plus the live KV cache through
+ * HBM while the M = batch GEMVs fill only batch/128 of the systolic
+ * array, so it is bandwidth-bound with a low-occupancy compute floor
+ * (the §V-F harvesting opportunity).
+ */
+
+#ifndef NEU10_LLM_PHASE_MODEL_HH
+#define NEU10_LLM_PHASE_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "models/builder.hh"
+#include "npu/config.hh"
+
+namespace neu10
+{
+namespace llm
+{
+
+/** The transformer shape and memory constants of one LLM. */
+struct LlmModelSpec
+{
+    double hidden = 5120.0;     ///< model dimension
+    double ffn = 13824.0;       ///< feed-forward inner dimension
+    unsigned layers = 40;
+
+    /** Reference prompt length of the closed-loop §V-F graph; also
+     * the sequence length kvPerSample is quoted at. */
+    unsigned promptTokens = 512;
+
+    /** Layers folded per prefill operator in the closed-loop graph. */
+    unsigned prefillChunks = 8;
+
+    /** Decode steps in the closed-loop graph. */
+    unsigned decodeSteps = 48;
+
+    Bytes weightBytes = 26624_MiB; ///< 13B params, fp16
+    Bytes kvPerSample = 420_MiB;   ///< K+V for one promptTokens seq
+    Bytes actPerSample = 8_MiB;    ///< activation working set
+
+    /** Parameters (= MACs per token) in one layer: QKVO + FFN. */
+    double
+    layerParams() const
+    {
+        return 4.0 * hidden * hidden + 3.0 * hidden * ffn;
+    }
+
+    /** KV bytes one token appends (exact: kvPerSample is a multiple
+     * of promptTokens by construction). */
+    Bytes
+    kvBytesPerToken() const
+    {
+        return kvPerSample / promptTokens;
+    }
+
+    /** HBM footprint of weights + per-sequence state at @p batch —
+     * the quantity sizeVnpuForModel's §III-B residency check sees. */
+    Bytes
+    footprint(unsigned batch) const
+    {
+        return weightBytes +
+               static_cast<Bytes>(batch) * kvPerSample +
+               static_cast<Bytes>(batch) * actPerSample;
+    }
+};
+
+/** The canonical LLaMA2-13B spec (§V-F, Table I). */
+const LlmModelSpec &llamaSpec();
+
+/**
+ * Emit the closed-loop prefill operator stream (embedding + chunked
+ * projection/attention/softmax ops) into @p g at batch @p b.
+ * Chains from the builder's current last op.
+ */
+void emitPrefillOps(GraphBuilder &g, const LlmModelSpec &spec,
+                    double b);
+
+/**
+ * Emit the closed-loop decode operator stream (per-step GEMV halves,
+ * KV attention and norm/sample ops) into @p g at batch @p b.
+ */
+void emitDecodeOps(GraphBuilder &g, const LlmModelSpec &spec,
+                   double b);
+
+/**
+ * Analytic prefill cost: one sequence of @p promptTokens processed
+ * in parallel on @p nMes matrix engines with a @p bwShare fraction
+ * of the core's HBM bandwidth (static per-vNPU partition).
+ * max(compute at full array fill, weight stream + KV write).
+ */
+Cycles prefillCycles(const LlmModelSpec &spec,
+                     std::uint64_t promptTokens,
+                     const NpuCoreConfig &core, unsigned nMes,
+                     double bwShare);
+
+/**
+ * Analytic cost of one decode iteration advancing @p runningSeqs
+ * sequences whose live contexts total @p contextTokens:
+ * max(weights + KV stream, GEMV compute at batch/128 array fill).
+ */
+Cycles decodeStepCycles(const LlmModelSpec &spec,
+                        std::uint64_t runningSeqs,
+                        std::uint64_t contextTokens,
+                        const NpuCoreConfig &core, unsigned nMes,
+                        double bwShare);
+
+/** HBM bytes one decode iteration streams (weights + live KV). */
+Bytes decodeStepBytes(const LlmModelSpec &spec,
+                      std::uint64_t contextTokens);
+
+/** HBM bytes one prefill streams (weights + KV written). */
+Bytes prefillBytes(const LlmModelSpec &spec,
+                   std::uint64_t promptTokens);
+
+} // namespace llm
+} // namespace neu10
+
+#endif // NEU10_LLM_PHASE_MODEL_HH

@@ -9,11 +9,16 @@
  * batch) fill only a sliver of the systolic array. The model is
  * therefore memory-bandwidth-bound: it occupies matrix engines without
  * using them, exactly the harvesting opportunity Fig. 27 exploits.
+ *
+ * The op emission itself lives in llm/phase_model.cc so the zoo model
+ * and the token-level serving loop (llm/llm_serving.cc) share one
+ * arithmetic source of truth; a parity test pins the emitted graph
+ * digit-for-digit against the pre-refactor values.
  */
 
 #include "models/builders_internal.hh"
 
-#include "common/strings.hh"
+#include "llm/phase_model.hh"
 #include "models/builder.hh"
 
 namespace neu10
@@ -21,57 +26,14 @@ namespace neu10
 namespace models
 {
 
-namespace
-{
-
-constexpr Bytes kLlamaWeights = 26624_MiB;   // 13B params, fp16
-constexpr Bytes kKvPerSample = 420_MiB;      // 40 layers x 512 x 5120, K+V
-
-} // anonymous namespace
-
 DnnGraph
 buildLlama(unsigned batch)
 {
-    const double b = batch;
-    const double h = 5120, ff = 13824, s = 512;
-    const unsigned layers = 40;
-    const unsigned chunks = 8;           // layers folded per prefill op
-    const unsigned dec_steps = 48;
-    const double layer_params = 4 * h * h + 3 * h * ff; // QKVO + FFN
-
+    const llm::LlmModelSpec &spec = llm::llamaSpec();
     GraphBuilder g("LLaMA", batch);
-
-    // ---- Prefill: 512 tokens in parallel, per layer-chunk.
-    g.embedding("embed", b * s, h, 2.0, {});
-    for (unsigned c = 0; c < chunks; ++c) {
-        const std::string p = csprintf("prefill%u.", c);
-        const double lp = layers / chunks; // layers in this chunk
-        g.matmul(p + "proj", b * s, h, lp * layer_params / h,
-                 /*wf=*/1.0, /*spill=*/0.1);
-        g.matmul(p + "attn", b * s, s, lp * h, /*wf=*/0.1);
-        g.vector(p + "softmax_norm", b * lp * 40 * s * s, 2.0);
-    }
-
-    // ---- Decode: dec_steps tokens, each re-streaming all weights and
-    // the KV cache. Two weight-halves per step keep op granularity
-    // reasonable; M = batch gives ~6% systolic fill.
-    const double half_params = layers * layer_params / 2.0;
-    for (unsigned t = 0; t < dec_steps; ++t) {
-        const std::string p = csprintf("dec%u.", t);
-        g.matmul(p + "gemv_a", b, h, half_params / h,
-                 /*wf=*/1.0, /*spill=*/0.0);
-        g.matmul(p + "gemv_b", b, h, half_params / h,
-                 /*wf=*/1.0, /*spill=*/0.0);
-        // Attention against the KV cache: VE work plus the cache read.
-        g.vector(p + "kv_attn", b * layers * (s + t) * 128, 2.0,
-                 static_cast<Bytes>(b) * kKvPerSample);
-        g.vector(p + "norm_sample", b * h * layers, 4.0);
-    }
-
-    const Bytes footprint =
-        kLlamaWeights + static_cast<Bytes>(batch) * kKvPerSample +
-        static_cast<Bytes>(batch) * 8_MiB;
-    return g.take(footprint);
+    llm::emitPrefillOps(g, spec, batch);
+    llm::emitDecodeOps(g, spec, batch);
+    return g.take(spec.footprint(batch));
 }
 
 } // namespace models

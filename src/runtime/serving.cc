@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/logging.hh"
+#include "llm/llm_serving.hh"
 #include "sim/clock.hh"
 
 namespace neu10
@@ -322,6 +323,12 @@ ServingResult
 runServing(const ServingConfig &config)
 {
     NEU10_ASSERT(!config.tenants.empty(), "experiment needs tenants");
+
+    // Token-level LLM serving bypasses the op-graph path entirely:
+    // the analytic iteration loop in src/llm/ prices prefill/decode
+    // phases directly (no event queue, no compiled program).
+    if (config.mode == ServingMode::LlmContinuous)
+        return llm::runLlmServing(config);
 
     // Compile every tenant's model once — or take the caller's
     // precompiled, shared binary (TenantSpec::program).

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "compiler/lower.hh"
+#include "llm/llm_params.hh"
 #include "models/zoo.hh"
 #include "npu/config.hh"
 #include "npu/core_sim.hh"
@@ -112,6 +113,17 @@ struct TenantSpec
      * via compileFor().
      */
     const CompiledModel *program = nullptr;
+
+    // --- LLM fields (ServingMode::LlmContinuous only) --------------
+    /** Seed of the per-sequence prompt/output length stream
+     * (llm/llm_serving.hh); the fleet forwards the tenant's traffic
+     * seed so lengths are stable per tenant. */
+    std::uint64_t llmSeed = 0;
+
+    /** vNPU HBM reservation the KV pool is carved from (weights are
+     * subtracted inside llm_serving). 0 = size it on the fly via
+     * sizeVnpuForModel, as the fleet placer would. */
+    Bytes hbmBytes = 0;
 };
 
 /** How requests are generated (see file doc). */
@@ -119,6 +131,12 @@ enum class ServingMode
 {
     ClosedLoop = 0, ///< resubmit-on-completion, §V-A methodology
     OpenLoop,       ///< arrival-driven with admission control
+
+    /** Token-level LLM serving: arrivals are *sequences* (prompt +
+     * per-token decode) batched continuously against a paged KV
+     * pool (llm/llm_serving.hh). Uses the open-loop arrival,
+     * admission and SLO machinery of TenantSpec. */
+    LlmContinuous,
 };
 
 /** Experiment configuration. */
@@ -179,6 +197,9 @@ struct ServingConfig
      * to this many partially-run requests per tenant.
      */
     unsigned corePipelineDepth = 2;
+
+    /** LLM serving knobs (ServingMode::LlmContinuous only). */
+    LlmParams llm;
 
     bool captureOpTimings = false;
     bool captureAssignment = false;
@@ -242,6 +263,11 @@ struct TenantResult
      * restored instance may submit again (restore boundary plus the
      * recovery stall), or until the horizon when never restored. */
     Cycles downtimeCycles = 0.0;
+
+    /** LLM serving outcome (ServingMode::LlmContinuous only):
+     * token/prefill/preemption counters, KV-pool accounting and the
+     * time-to-first-token distribution. */
+    LlmEndpointStats llm;
 
     /** Per-request operator timings (captureOpTimings). */
     std::vector<std::vector<OpTiming>> opTimings;

@@ -535,6 +535,57 @@ interpTraceSection(const Interp &in, const Section &sec, Scenario &out)
     }
 }
 
+const char *const kLlmVocabulary =
+    "scheduler, page-tokens, max-batch, prompt-tokens, "
+    "prompt-tokens-max, output-tokens, output-tokens-max";
+
+void
+interpLlmSection(const Interp &in, const Section &sec, Scenario &out)
+{
+    out.hasLlm = true;
+    out.llmLine = sec.line;
+    for (const Entry &e : sec.entries) {
+        if (e.key == "scheduler") {
+            const std::string low = toLower(e.value);
+            if (low == "continuous")
+                out.llm.scheduler = LlmScheduler::Continuous;
+            else if (low == "static-batch")
+                out.llm.scheduler = LlmScheduler::StaticBatch;
+            else
+                in.fail(e.line,
+                        csprintf("unknown scheduler '%s'; valid "
+                                 "schedulers are 'continuous' and "
+                                 "'static-batch'", e.value.c_str()));
+        } else if (e.key == "page-tokens") {
+            out.llm.pageTokens = in.positive(e);
+        } else if (e.key == "max-batch") {
+            out.llm.maxBatch = in.positive(e);
+        } else if (e.key == "prompt-tokens") {
+            out.llm.promptTokens = in.positive(e);
+        } else if (e.key == "prompt-tokens-max") {
+            out.llm.promptTokensMax = in.positive(e);
+        } else if (e.key == "output-tokens") {
+            out.llm.outputTokens = in.positive(e);
+        } else if (e.key == "output-tokens-max") {
+            out.llm.outputTokensMax = in.positive(e);
+        } else {
+            in.unknownKey(e, sec.name, kLlmVocabulary);
+        }
+    }
+    if (out.llm.promptTokensMax != 0 &&
+        out.llm.promptTokensMax < out.llm.promptTokens)
+        in.fail(sec.line,
+                csprintf("prompt-tokens-max=%u is below "
+                         "prompt-tokens=%u", out.llm.promptTokensMax,
+                         out.llm.promptTokens));
+    if (out.llm.outputTokensMax != 0 &&
+        out.llm.outputTokensMax < out.llm.outputTokens)
+        in.fail(sec.line,
+                csprintf("output-tokens-max=%u is below "
+                         "output-tokens=%u", out.llm.outputTokensMax,
+                         out.llm.outputTokens));
+}
+
 const char *const kTenantVocabulary =
     "model, batch, count, eus, mes, ves, outstanding, rho, "
     "rate-per-sec, shape, burst-multiplier, burst-fraction, "
@@ -787,6 +838,8 @@ parseScenario(const std::string &text, const std::string &filename)
             interpResilienceSection(in, sec, out);
         } else if (sec.name == "faults") {
             interpFaultsSection(in, sec, out);
+        } else if (sec.name == "llm") {
+            interpLlmSection(in, sec, out);
         } else if (sec.name == "trace") {
             interpTraceSection(in, sec, out);
         } else if (sec.name.rfind("tenant.", 0) == 0) {
@@ -796,7 +849,7 @@ parseScenario(const std::string &text, const std::string &filename)
             in.fail(sec.line,
                     csprintf("unknown section [%s]; valid sections: "
                              "[scenario], [fleet], [elastic], "
-                             "[resilience], [faults], [trace], "
+                             "[resilience], [faults], [llm], [trace], "
                              "[tenant.<name>]", sec.name.c_str()));
         }
     }
@@ -810,6 +863,30 @@ parseScenario(const std::string &text, const std::string &filename)
         validateOpenLoop(in, out, tenant_sections);
     else
         validateClosedLoop(in, out, tenant_sections, sections);
+
+    if (out.hasLlm) {
+        // Token-level LLM serving rides the fleet engine and the
+        // LLaMA phase model; anything else has no token semantics.
+        if (out.mode != ScenarioMode::OpenLoop)
+            in.fail(out.llmLine,
+                    "[llm] is open-loop only; token-level serving "
+                    "runs on the fleet engine");
+        if (out.elastic.epochs != 1)
+            in.fail(out.llmLine,
+                    csprintf("[llm] requires [elastic] epochs = 1 "
+                             "(got %u): half-decoded sequences cannot "
+                             "carry across epoch boundaries",
+                             out.elastic.epochs));
+        for (size_t i = 0; i < out.groups.size(); ++i) {
+            if (out.groups[i].model != ModelId::Llama)
+                in.fail(tenant_sections[i]->line,
+                        csprintf("[%s]: LLM serving requires model = "
+                                 "LLaMA (got %s)",
+                                 tenant_sections[i]->name.c_str(),
+                                 modelAbbrev(out.groups[i].model)
+                                     .c_str()));
+        }
+    }
     return out;
 }
 

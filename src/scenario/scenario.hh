@@ -179,6 +179,15 @@ struct Scenario
     Cycles recoveryStallCycles = 5e5;
     std::vector<ScenarioFault> faults;
 
+    // --- [llm] -----------------------------------------------------
+    /** Present iff the file has an [llm] section: the fleet serves
+     * token-level LLM sequences (ServingMode::LlmContinuous) instead
+     * of open-loop requests. Open-loop mode only; every tenant must
+     * run the LLaMA model and [elastic] epochs must stay 1. */
+    bool hasLlm = false;
+    unsigned llmLine = 0;    ///< [llm] header line (diagnostics)
+    LlmParams llm;
+
     // --- [trace] ---------------------------------------------------
     TraceConfig trace;
     std::string traceOut;    ///< Chrome-JSON path ("" = derived)

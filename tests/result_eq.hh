@@ -36,10 +36,29 @@ expectSamplesEq(const Distribution &a, const Distribution &b,
 }
 
 inline void
+expectLlmEq(const LlmEndpointStats &a, const LlmEndpointStats &b)
+{
+    EXPECT_EQ(a.tokensGenerated, b.tokensGenerated);
+    EXPECT_EQ(a.prefills, b.prefills);
+    EXPECT_EQ(a.decodeIterations, b.decodeIterations);
+    EXPECT_EQ(a.preemptions, b.preemptions);
+    EXPECT_EQ(a.kvPages, b.kvPages);
+    EXPECT_EQ(a.kvPageHighWater, b.kvPageHighWater);
+    EXPECT_EQ(a.kvAllocOps, b.kvAllocOps);
+    EXPECT_EQ(a.kvFreeOps, b.kvFreeOps);
+    EXPECT_EQ(a.kvFailedAllocs, b.kvFailedAllocs);
+    EXPECT_EQ(a.kvOccupancyMean, b.kvOccupancyMean);
+    EXPECT_EQ(a.kvFragMean, b.kvFragMean);
+    EXPECT_EQ(a.tokensPerSecond, b.tokensPerSecond);
+    expectSamplesEq(a.ttftCycles, b.ttftCycles, "ttft");
+}
+
+inline void
 expectTenantEq(const TenantResult &a, const TenantResult &b,
                size_t idx)
 {
     SCOPED_TRACE(::testing::Message() << "tenant " << idx);
+    expectLlmEq(a.llm, b.llm);
     EXPECT_EQ(a.model, b.model);
     EXPECT_EQ(a.completed, b.completed);
     EXPECT_EQ(a.submitted, b.submitted);

@@ -55,6 +55,12 @@ def main():
         # there on the path alone (the fixture names no *Result).
         ("obs/bad_trace_export.cc", "unordered-iter", 2),
         ("vnpu/bad_float_eq.cc", "float-eq", 2),
+        # llm/ is both a deterministic-export scope (KV-page books
+        # feed the byte-exact goldens) and an accounting scope: the
+        # same fixture must trip unordered-iter on the path alone
+        # and float-eq on the occupancy comparison.
+        ("llm/bad_kv_accounting.cc", "unordered-iter", 2),
+        ("llm/bad_kv_accounting.cc", "float-eq", 2),
         ("runtime/bad_naked_new.cc", "naked-new", 4),
     ]:
         path, rule, minimum = expected

@@ -456,7 +456,8 @@ TEST(ScenarioErrors, UnknownSection)
     expectError("[scenario]\nname = t\n[turbo]\n",
                 "test.scn:3: unknown section [turbo]; valid "
                 "sections: [scenario], [fleet], [elastic], "
-                "[resilience], [faults], [trace], [tenant.<name>]");
+                "[resilience], [faults], [llm], [trace], "
+                "[tenant.<name>]");
 }
 
 // --------------------------------------- vocabulary negative paths
@@ -506,6 +507,114 @@ TEST(ScenarioErrors, UnknownFaultKind)
 {
     expectError("[faults]\nfault = gamma-ray at=1 core=0\n",
                 "test.scn:2: ");
+}
+
+// ------------------------------------------- [llm] section paths
+
+/** A minimal valid LLM-serving scenario to splice test lines into. */
+const char *const kMinimalLlm =
+    "[scenario]\n"
+    "name = t\n"
+    "[fleet]\n"
+    "horizon = 1e6\n"
+    "[llm]\n"
+    "scheduler = continuous\n"
+    "[tenant.a]\n"
+    "model = LLaMA\n"
+    "eus = 8\n"
+    "rate-per-sec = 5\n";
+
+TEST(ScenarioParse, LlmSectionParses)
+{
+    const Scenario s = parse(
+        "[scenario]\n"
+        "name = t\n"
+        "[fleet]\n"
+        "horizon = 1e6\n"
+        "[llm]\n"
+        "scheduler = static-batch\n"
+        "page-tokens = 32\n"
+        "max-batch = 24\n"
+        "prompt-tokens = 256\n"
+        "prompt-tokens-max = 512\n"
+        "output-tokens = 16\n"
+        "output-tokens-max = 64\n"
+        "[tenant.a]\n"
+        "model = LLaMA\n"
+        "eus = 8\n"
+        "rate-per-sec = 5\n");
+    EXPECT_TRUE(s.hasLlm);
+    EXPECT_EQ(s.llm.scheduler, LlmScheduler::StaticBatch);
+    EXPECT_EQ(s.llm.pageTokens, 32u);
+    EXPECT_EQ(s.llm.maxBatch, 24u);
+    EXPECT_EQ(s.llm.promptTokens, 256u);
+    EXPECT_EQ(s.llm.promptTokensMax, 512u);
+    EXPECT_EQ(s.llm.outputTokens, 16u);
+    EXPECT_EQ(s.llm.outputTokensMax, 64u);
+
+    const Scenario min = parse(kMinimalLlm);
+    EXPECT_TRUE(min.hasLlm);
+    EXPECT_EQ(min.llm.scheduler, LlmScheduler::Continuous);
+    EXPECT_EQ(min.llm.pageTokens, 16u);
+    EXPECT_EQ(min.llm.maxBatch, 0u); // 0 = the tenant's batch
+}
+
+TEST(ScenarioErrors, UnknownLlmKey)
+{
+    expectError("[scenario]\nname = t\n[llm]\nbogus = 1\n",
+                "test.scn:4: unknown key 'bogus' in section [llm]; "
+                "valid keys: scheduler, page-tokens, max-batch, "
+                "prompt-tokens, prompt-tokens-max, output-tokens, "
+                "output-tokens-max");
+}
+
+TEST(ScenarioErrors, UnknownLlmScheduler)
+{
+    expectError("[scenario]\nname = t\n[llm]\nscheduler = greedy\n",
+                "test.scn:4: unknown scheduler 'greedy'; valid "
+                "schedulers are 'continuous' and 'static-batch'");
+}
+
+TEST(ScenarioErrors, LlmPromptMaxBelowMin)
+{
+    expectError("[scenario]\nname = t\n[llm]\n"
+                "prompt-tokens = 384\nprompt-tokens-max = 128\n",
+                "test.scn:3: prompt-tokens-max=128 is below "
+                "prompt-tokens=384");
+}
+
+TEST(ScenarioErrors, LlmOutputMaxBelowMin)
+{
+    expectError("[scenario]\nname = t\n[llm]\n"
+                "output-tokens = 32\noutput-tokens-max = 8\n",
+                "test.scn:3: output-tokens-max=8 is below "
+                "output-tokens=32");
+}
+
+TEST(ScenarioErrors, LlmIsOpenLoopOnly)
+{
+    expectError("[scenario]\nname = t\n[fleet]\n"
+                "mode = closed-loop\n[llm]\n[tenant.a]\n"
+                "model = LLaMA\nmes = 2\nves = 2\n",
+                "test.scn:5: [llm] is open-loop only; token-level "
+                "serving runs on the fleet engine");
+}
+
+TEST(ScenarioErrors, LlmRequiresSingleEpoch)
+{
+    expectError(std::string(kMinimalLlm) + "[elastic]\nepochs = 4\n",
+                "test.scn:5: [llm] requires [elastic] epochs = 1 "
+                "(got 4): half-decoded sequences cannot carry "
+                "across epoch boundaries");
+}
+
+TEST(ScenarioErrors, LlmRequiresLlamaModel)
+{
+    expectError("[scenario]\nname = t\n[fleet]\nhorizon = 1e6\n"
+                "[llm]\n[tenant.a]\n"
+                "model = MNIST\neus = 2\nrate-per-sec = 5\n",
+                "test.scn:6: [tenant.a]: LLM serving requires "
+                "model = LLaMA (got MNIST)");
 }
 
 // -------------------------------------- range/overflow negatives

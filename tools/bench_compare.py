@@ -32,6 +32,16 @@ Records with schema_version 1 (pre-provenance) and 2 (git_sha /
 compiler / build_type / tracing) are both accepted; comparing across
 schema versions warns but does not fail.
 
+Both modes also accept bench_llm_serving records (schema 1), and a
+bench_perf_engine record may carry the same fields in an optional
+"llm_serving" block. The LLM gates are simulation-deterministic (no
+wall clock): engines must be bit-identical, tokens_speedup must meet
+the record's own min_tokens_speedup_required, and ttft_p99_ratio
+must not exceed 1.0 — continuous batching must beat the static-batch
+baseline on both headline metrics. In compare mode the speedup is
+additionally gated against (1 - F) x the baseline's value whenever
+both sides carry LLM numbers.
+
 Exit status: 0 when every gate passes, 1 otherwise, 2 on bad usage.
 """
 
@@ -41,14 +51,19 @@ import pathlib
 import sys
 
 
+SCHEMAS = {"bench_perf_engine": (1, 2), "bench_llm_serving": (1,)}
+
+
 def load(path):
     with open(path, encoding="utf-8") as f:
         record = json.load(f)
-    if record.get("bench") != "bench_perf_engine":
-        sys.exit(f"error: {path} is not a bench_perf_engine record")
-    if record.get("schema_version") not in (1, 2):
+    kind = record.get("bench")
+    if kind not in SCHEMAS:
+        sys.exit(f"error: {path} is not a bench_perf_engine or "
+                 f"bench_llm_serving record")
+    if record.get("schema_version") not in SCHEMAS[kind]:
         sys.exit(f"error: {path} has unsupported schema_version "
-                 f"{record.get('schema_version')!r}")
+                 f"{record.get('schema_version')!r} for {kind}")
     return record
 
 
@@ -56,8 +71,46 @@ def scenarios(record):
     return {s["name"]: s for s in record.get("scenarios", [])}
 
 
-def self_check(record, path):
+def llm_view(record):
+    """The LLM headline block: the record itself for
+    bench_llm_serving, the optional "llm_serving" block for
+    bench_perf_engine, None when absent."""
+    if record.get("bench") == "bench_llm_serving":
+        return record
+    return record.get("llm_serving")
+
+
+def check_llm(block, label):
     ok = True
+    required = float(block.get("min_tokens_speedup_required", 1.05))
+    speedup = float(block.get("tokens_speedup", 0.0))
+    ratio = float(block.get("ttft_p99_ratio", float("inf")))
+    if not block.get("bit_identical_engines", False):
+        print(f"FAIL  {label}: engines diverged on the LLM "
+              f"scenarios (bit_identical_engines is false)")
+        ok = False
+    if speedup < required:
+        print(f"FAIL  {label}: tokens_speedup {speedup:.2f}x < "
+              f"required {required:.2f}x (continuous batching must "
+              f"beat static batching)")
+        ok = False
+    if ratio > 1.0:
+        print(f"FAIL  {label}: ttft_p99_ratio {ratio:.2f} > 1.0 "
+              f"(continuous batching must cut the p99 TTFT)")
+        ok = False
+    if ok:
+        print(f"ok    {label}: tokens_speedup {speedup:.2f}x >= "
+              f"{required:.2f}x, ttft_p99_ratio {ratio:.2f} <= 1.0, "
+              f"engines bit-identical")
+    return ok
+
+
+def self_check(record, path):
+    if record.get("bench") == "bench_llm_serving":
+        return check_llm(record, path)
+    ok = True
+    if (llm := llm_view(record)) is not None:
+        ok = check_llm(llm, "llm_serving")
     required = float(record.get("min_speedup_required", 5.0))
     scen = scenarios(record)
     if not scen:
@@ -117,8 +170,37 @@ def overhead_gate(baseline, current, max_overhead):
     return False
 
 
+def compare_llm(baseline, current, max_regression):
+    """Gate the LLM headline speedup against the baseline whenever
+    both records carry one (either kind). Deterministic metric: a
+    drop is a behavioral change, not host noise."""
+    b, c = llm_view(baseline), llm_view(current)
+    if b is None and c is None:
+        return True
+    if c is None:
+        print("note  llm_serving: only in baseline")
+        return True
+    if b is None:
+        print(f"note  llm_serving: new "
+              f"(tokens_speedup {c['tokens_speedup']:.2f}x)")
+        return True
+    floor = (1.0 - max_regression) * float(b["tokens_speedup"])
+    sp = float(c["tokens_speedup"])
+    verdict = "ok   " if sp >= floor else "FAIL "
+    print(f"{verdict} llm_serving: tokens_speedup "
+          f"{b['tokens_speedup']:.2f}x -> {sp:.2f}x "
+          f"(floor {floor:.2f}x), ttft_p99_ratio "
+          f"{b['ttft_p99_ratio']:.2f} -> {c['ttft_p99_ratio']:.2f}")
+    return sp >= floor
+
+
 def compare(baseline, current, max_regression):
-    ok = True
+    ok = compare_llm(baseline, current, max_regression)
+    if (baseline.get("bench") != "bench_perf_engine" or
+            current.get("bench") != "bench_perf_engine"):
+        # Engine-speedup scenarios exist only in perf-engine records;
+        # a mixed or llm-only pair compares just the LLM block above.
+        return ok
     b_schema = baseline.get("schema_version")
     c_schema = current.get("schema_version")
     if b_schema != c_schema:

@@ -13,15 +13,17 @@ lint enforces the common ways of breaking it statically:
                   declared as std::unordered_map/unordered_set in a
                   file that produces *Result data or lives under a
                   deterministic-export scope (obs/ — the trace/
-                  metrics byte streams the identity tests compare) —
-                  hash-order walks feeding results make the outcome
-                  depend on pointer layout. Sort first, or iterate
-                  an ordered index.
+                  metrics byte streams the identity tests compare —
+                  and llm/, whose KV-page books feed the byte-exact
+                  goldens) — hash-order walks feeding results make
+                  the outcome depend on pointer layout. Sort first,
+                  or iterate an ordered index.
   float-eq        == / != where either operand is a floating-point
                   literal or a variable declared double/float/Cycles,
                   in allocator/accounting code (vnpu/, stats/, sched/,
-                  cluster/) — exact FP equality on computed values is
-                  how cross-platform drift sneaks into the books.
+                  cluster/, llm/) — exact FP equality on computed
+                  values is how cross-platform drift sneaks into the
+                  books.
   naked-new       naked new / delete — owning raw pointers defeat the
                   leak- and lifetime-cleanliness the ASan gate checks;
                   use containers or smart pointers.
@@ -53,8 +55,9 @@ RULES = {
 # Files exempt from banned-random: the seeded generator itself.
 RANDOM_EXEMPT = ("common/random.hh", "common/random.cc")
 
-# float-eq only applies to allocator/accounting code.
-FLOAT_EQ_SCOPES = ("vnpu/", "stats/", "sched/", "cluster/")
+# float-eq only applies to allocator/accounting code. llm/ qualifies:
+# KV-page occupancy/fragmentation accounting is FP and feeds goldens.
+FLOAT_EQ_SCOPES = ("vnpu/", "stats/", "sched/", "cluster/", "llm/")
 
 ALLOW_RE = re.compile(r"neu10-lint:\s*allow\(([a-z\-,\s]+)\)")
 
@@ -91,10 +94,11 @@ NEW_RE = re.compile(r"(?<![\w.:>])new\s+[A-Za-z_(]")
 DELETE_RE = re.compile(r"(?<![\w.:>])delete\b(?!d)")
 RESULT_FILE_RE = re.compile(r"\b\w+Result\b")
 # Path fragments whose files export deterministic byte streams (the
-# trace/metrics JSON the byte-identity tests compare): hash-order
-# iteration is a determinism bug there even when no *Result type is
-# named in the file.
-RESULT_SCOPES = ("obs/",)
+# trace/metrics JSON the byte-identity tests compare, and the LLM
+# serving layer whose per-sequence KV books feed the byte-exact
+# scenario goldens): hash-order iteration is a determinism bug there
+# even when no *Result type is named in the file.
+RESULT_SCOPES = ("obs/", "llm/")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*([A-Za-z_]\w*)")
 BEGIN_ITER_RE = re.compile(r"\b([A-Za-z_]\w*)\s*[.]\s*(?:c?begin|c?end)\s*\(")
 # A declaration line introducing an unordered container variable:

@@ -24,6 +24,7 @@
  * 2 on any usage/parse error (FatalError).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -86,6 +87,33 @@ printOpenLoop(const Scenario &s, const ScenarioOutcome &o)
                 "migrations  makespan %.3f ms\n",
                 100.0 * r.coreEuUtil.mean(), r.coreEuUtil.stddev(),
                 r.migrations, toMs(r.makespan));
+    if (s.hasLlm) {
+        std::uint64_t tokens = 0, preempt = 0;
+        std::uint32_t high_water = 0, pages = 0;
+        Distribution ttft;
+        for (const TenantResult &t : r.tenants) {
+            tokens += t.llm.tokensGenerated;
+            preempt += t.llm.preemptions;
+            high_water += t.llm.kvPageHighWater;
+            pages += t.llm.kvPages;
+            ttft.merge(t.llm.ttftCycles);
+        }
+        const double secs =
+            std::max(1.0, r.makespan) / s.board.core.freqHz;
+        std::printf("llm         %s scheduler  %llu tokens  %.0f "
+                    "tok/s  TTFT p50 %.3f  p99 %.3f ms\n",
+                    s.llm.scheduler == LlmScheduler::Continuous
+                        ? "continuous"
+                        : "static-batch",
+                    static_cast<unsigned long long>(tokens),
+                    static_cast<double>(tokens) / secs,
+                    toMs(ttft.percentile(0.50)),
+                    toMs(ttft.percentile(0.99)));
+        std::printf("kv pool     %u pages fleet-wide  high water %u  "
+                    "%llu preemptions\n",
+                    pages, high_water,
+                    static_cast<unsigned long long>(preempt));
+    }
     if (r.faultsInjected > 0)
         std::printf("faults      %u injected  %u core failures  %u "
                     "failovers  %llu lost  %llu recovered  "
