@@ -46,7 +46,7 @@ KvPool::ensureTokens(SeqId seq, std::uint64_t tokens)
 {
     lastGrowFailed_ = false;
     const std::uint32_t want = pagesFor(tokens);
-    auto it = held_.find(seq);
+    const auto it = held_.find(seq);
     const std::uint32_t have =
         it == held_.end()
             ? 0
@@ -86,7 +86,7 @@ KvPool::ensureTokens(SeqId seq, std::uint64_t tokens)
 std::uint32_t
 KvPool::release(SeqId seq)
 {
-    auto it = held_.find(seq);
+    const auto it = held_.find(seq);
     if (it == held_.end())
         return 0;
     const std::uint32_t freed =
@@ -97,7 +97,7 @@ KvPool::release(SeqId seq)
          ++rit)
         freeList_.push_back(*rit);
     held_.erase(it);
-    auto tit = tokens_.find(seq);
+    const auto tit = tokens_.find(seq);
     if (tit != tokens_.end()) {
         stats_.usedTokens -= tit->second;
         tokens_.erase(tit);
@@ -110,7 +110,7 @@ KvPool::release(SeqId seq)
 std::uint32_t
 KvPool::pagesHeld(SeqId seq) const
 {
-    auto it = held_.find(seq);
+    const auto it = held_.find(seq);
     return it == held_.end()
                ? 0
                : static_cast<std::uint32_t>(it->second.size());
@@ -119,14 +119,14 @@ KvPool::pagesHeld(SeqId seq) const
 std::uint64_t
 KvPool::tokensHeld(SeqId seq) const
 {
-    auto it = tokens_.find(seq);
+    const auto it = tokens_.find(seq);
     return it == tokens_.end() ? 0 : it->second;
 }
 
 const std::vector<KvPageId> *
 KvPool::pages(SeqId seq) const
 {
-    auto it = held_.find(seq);
+    const auto it = held_.find(seq);
     return it == held_.end() ? nullptr : &it->second;
 }
 
@@ -186,7 +186,7 @@ KvPool::audit() const
               stats_.usedPages, freeList_.size(), stats_.totalPages);
     // Every page id on exactly one list, exactly once.
     std::vector<bool> seen(stats_.totalPages, false);
-    auto mark = [&](KvPageId id) {
+    const auto mark = [&](KvPageId id) {
         if (id >= stats_.totalPages)
             fatal("KvPool::audit: page id %u out of range", id);
         if (seen[id])
@@ -199,7 +199,7 @@ KvPool::audit() const
         for (KvPageId id : list)
             mark(id);
         // Holder list must cover its live tokens exactly.
-        auto tit = tokens_.find(seq);
+        const auto tit = tokens_.find(seq);
         const std::uint64_t toks =
             tit == tokens_.end() ? 0 : tit->second;
         if (pagesFor(toks) > list.size())

@@ -116,7 +116,7 @@ runEndpoint(const ServingConfig &config, unsigned tenant,
     std::vector<Seq> seqs;
     seqs.reserve(ts.backlog.size() + ts.arrivals.size());
     Rng rng(ts.llmSeed);
-    auto draw = [&](std::uint32_t lo, std::uint32_t hi) {
+    const auto draw = [&](std::uint32_t lo, std::uint32_t hi) {
         if (hi <= lo)
             return lo;
         return lo + static_cast<std::uint32_t>(
@@ -158,7 +158,7 @@ runEndpoint(const ServingConfig &config, unsigned tenant,
     double pageCyc = 0.0, tokenCyc = 0.0;
     double prefillBusy = 0.0, decodeBusy = 0.0, bytes = 0.0;
 
-    auto advance = [&](Cycles to) {
+    const auto advance = [&](Cycles to) {
         const double dt = to - t;
         pageCyc += static_cast<double>(pool.usedPages()) * dt;
         tokenCyc +=
@@ -166,7 +166,7 @@ runEndpoint(const ServingConfig &config, unsigned tenant,
         t = to;
     };
 
-    auto deliver = [&]() {
+    const auto deliver = [&]() {
         while (next < seqs.size() && seqs[next].stamp <= t) {
             const auto idx = static_cast<std::uint32_t>(next);
             if (seqs[next].carried) {
@@ -193,7 +193,7 @@ runEndpoint(const ServingConfig &config, unsigned tenant,
         }
     };
 
-    auto tracePageAlloc = [&](std::uint32_t newPages) {
+    const auto tracePageAlloc = [&](std::uint32_t newPages) {
         if (newPages != 0)
             trace.instant(t, "llm", "page-alloc", "tenant", ti,
                           "pages", newPages, "free",
@@ -204,7 +204,7 @@ runEndpoint(const ServingConfig &config, unsigned tenant,
     // context (prompt plus any tokens generated before a preemption)
     // is recomputed in one pass. @return false when page-gated or
     // the pass cannot complete before the stop boundary.
-    auto prefillInto = [&](std::uint64_t reserveTokens) {
+    const auto prefillInto = [&](std::uint64_t reserveTokens) {
         const std::uint32_t idx = waiting.front();
         Seq &s = seqs[idx];
         const std::uint64_t ctx =
@@ -234,7 +234,7 @@ runEndpoint(const ServingConfig &config, unsigned tenant,
         return true;
     };
 
-    auto admitContinuous = [&]() {
+    const auto admitContinuous = [&]() {
         while (!stopped && running.size() < ep.maxBatch &&
                !waiting.empty()) {
             if (!prefillInto(/*reserveTokens=*/0))
@@ -242,7 +242,7 @@ runEndpoint(const ServingConfig &config, unsigned tenant,
         }
     };
 
-    auto admitStatic = [&]() {
+    const auto admitStatic = [&]() {
         if (!running.empty() || !staticDone.empty())
             return;
         while (!stopped && running.size() < ep.maxBatch &&
@@ -255,7 +255,7 @@ runEndpoint(const ServingConfig &config, unsigned tenant,
         }
     };
 
-    auto preemptYoungest = [&](std::uint32_t needy) {
+    const auto preemptYoungest = [&](std::uint32_t needy) {
         const std::uint32_t victim = running.back();
         running.pop_back();
         const std::uint32_t freed = pool.release(victim);

@@ -1,0 +1,16 @@
+// Clean fixture: common/env is the sanctioned environment-variable
+// boundary; getenv here must not trip the environment category.
+#include <cstdlib>
+#include <string>
+
+namespace neu10
+{
+
+std::string
+envOr(const char *name, const char *fallback)
+{
+    const char *v = std::getenv(name); // exempt: under common/env
+    return v ? v : fallback;
+}
+
+} // namespace neu10

@@ -1,0 +1,25 @@
+// Clean fixture: common/random is the one place allowed to touch
+// entropy sources — here they seed the deterministic generator that
+// the rest of the tree consumes.
+#include <cstdlib>
+#include <random>
+
+namespace neu10
+{
+
+unsigned long long
+seedFrom(unsigned long long user_seed)
+{
+    if (user_seed != 0)
+        return user_seed;
+    std::random_device rd; // exempt: lives under common/random
+    return (static_cast<unsigned long long>(rd()) << 32) ^ rd();
+}
+
+void
+reseedLegacy(unsigned seed)
+{
+    srand(seed); // exempt: lives under common/random
+}
+
+} // namespace neu10

@@ -1,0 +1,31 @@
+// Clean fixture: every shared-state shape the mutable-global audit
+// must accept — const/constexpr, atomics, thread-locals, sync
+// primitives, and mutex-guarded data carrying the annotation.
+#include <atomic>
+#include <mutex>
+
+#ifndef NEU10_GUARDED_BY
+#define NEU10_GUARDED_BY(x)
+#endif
+
+namespace neu10
+{
+
+constexpr unsigned kMaxLanes = 8;            // exempt: constexpr
+const double kDefaultScale = 1.0;            // exempt: const
+static std::atomic<unsigned> g_hits{0};      // exempt: atomic
+thread_local unsigned t_depth = 0;           // exempt: thread_local
+static std::mutex g_mu;                      // exempt: sync primitive
+static long g_balance NEU10_GUARDED_BY(g_mu) = 0; // exempt: guarded
+
+void
+charge(long amount)
+{
+    g_hits.fetch_add(1, std::memory_order_relaxed);
+    ++t_depth;
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_balance += amount;
+    --t_depth;
+}
+
+} // namespace neu10

@@ -1,0 +1,45 @@
+// Clean fixture: a runFleet entry whose call chains only reach
+// sanctioned boundaries (common/random, common/env, common/logging)
+// plus name-collision look-alikes — `clk.now()`, `gen.rand()`,
+// `frame.time()` — that must not read as banned sources.
+#include <string>
+
+namespace neu10
+{
+
+unsigned long long seedFrom(unsigned long long user_seed);
+std::string envOr(const char *name, const char *fallback);
+void logLine(const char *msg);
+
+struct SimClock
+{
+    double ticks = 0.0;
+    double now() const { return ticks; } // sim time, not wall time
+};
+
+struct Frame
+{
+    double at = 0.0;
+    double time() const { return at; } // member, not ::time()
+};
+
+struct LaneGen
+{
+    unsigned state = 1;
+    unsigned rand() { return state *= 48271u; } // member, not ::rand()
+};
+
+double
+runFleet()
+{
+    SimClock clk;
+    Frame frame;
+    LaneGen gen;
+    const auto seed = seedFrom(0);
+    const auto mode = envOr("NEU10_MODE", "batch");
+    logLine(mode.c_str());
+    return clk.now() + frame.time() +
+           static_cast<double>(gen.rand() ^ seed);
+}
+
+} // namespace neu10

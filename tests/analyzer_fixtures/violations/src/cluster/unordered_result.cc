@@ -1,0 +1,53 @@
+// Fixture: type-based result-determinism violations. No *Result
+// token in the file path and no hand-listed scope — the rule must
+// fire purely because unordered iteration happens in functions that
+// produce ShardResult data or export JSON.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace neu10
+{
+
+struct ShardResult
+{
+    std::vector<double> loads;
+    double total = 0.0;
+};
+
+class ShardBook
+{
+  public:
+    ShardResult collect() const;
+    std::string shardsJson() const;
+
+  private:
+    std::unordered_map<unsigned, double> load_;
+    std::unordered_set<unsigned> hot_;
+};
+
+ShardResult
+ShardBook::collect() const
+{
+    ShardResult r;
+    for (const auto &[shard, load] : load_) { // line 34
+        r.loads.push_back(load);
+        r.total += load;
+    }
+    for (auto it = hot_.begin(); it != hot_.end(); ++it) // line 38
+        r.total += 1.0;
+    return r;
+}
+
+std::string
+ShardBook::shardsJson() const
+{
+    std::string out = "[";
+    for (const auto &[shard, load] : load_) // line 47
+        out += std::to_string(shard) + ",";
+    out += "]";
+    return out;
+}
+
+} // namespace neu10

@@ -1,0 +1,24 @@
+// Fixture: shared-state audit violations. Every variable here has
+// static storage duration and is neither const, constexpr, atomic,
+// thread_local nor NEU10_GUARDED_BY-annotated.
+
+namespace neu10
+{
+
+int g_epoch = 0; // line 8
+
+static double g_scale = 1.0; // line 10
+
+namespace
+{
+unsigned g_calls; // line 14
+} // namespace
+
+void
+bump()
+{
+    static unsigned counter = 0; // line 20
+    ++counter;
+}
+
+} // namespace neu10

@@ -1,0 +1,36 @@
+// Fixture: unseeded randomness and stdout writes reachable from the
+// runServing entry point — rand()/std::random_device are banned
+// outside common/random, printf outside common/logging.
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+
+namespace neu10
+{
+
+namespace
+{
+
+double
+jitter()
+{
+    std::random_device rd; // line 17
+    return static_cast<double>(rd()) + rand() * 1e-9; // line 18
+}
+
+void
+logProgress(unsigned n)
+{
+    printf("served %u\n", n); // line 24
+}
+
+} // namespace
+
+double
+runServing()
+{
+    logProgress(1);
+    return jitter();
+}
+
+} // namespace neu10

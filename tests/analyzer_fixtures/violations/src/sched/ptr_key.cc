@@ -1,0 +1,28 @@
+// Fixture: pointer-keyed ordering violations. std::map/std::set
+// keyed by raw pointers iterate in allocator order, not program
+// order — both walks below must be flagged.
+#include <map>
+#include <set>
+
+namespace neu10
+{
+
+struct Tenant
+{
+    unsigned id = 0;
+};
+
+double
+walkQueues()
+{
+    std::map<Tenant *, double> shares;
+    double sum = 0.0;
+    for (const auto &[tenant, share] : shares) // line 20
+        sum += share;
+    std::set<const Tenant *> seen;
+    for (auto it = seen.begin(); it != seen.end(); ++it) // line 23
+        sum += 1.0;
+    return sum;
+}
+
+} // namespace neu10

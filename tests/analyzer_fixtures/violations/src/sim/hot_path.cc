@@ -1,0 +1,43 @@
+// Fixture: purity-reachability violations. runFleet is a default
+// analyzer entry point; both helpers below make the chain two hops
+// deep so the finding must carry every hop with file:line.
+#include <chrono>
+#include <thread>
+#include <functional>
+
+namespace neu10
+{
+
+struct CoreResult
+{
+    double cycles = 0.0;
+};
+
+namespace
+{
+
+double
+stampNow()
+{
+    const auto t = std::chrono::steady_clock::now(); // line 22
+    return static_cast<double>(t.time_since_epoch().count());
+}
+
+unsigned
+laneOfThread()
+{
+    return static_cast<unsigned>(std::hash<std::thread::id>{}(
+        std::this_thread::get_id())); // line 30
+}
+
+} // namespace
+
+CoreResult
+runFleet()
+{
+    CoreResult r;
+    r.cycles = stampNow() + laneOfThread();
+    return r;
+}
+
+} // namespace neu10

@@ -1,0 +1,36 @@
+// Fixture: stale-allow. The first directive excuses nothing — the
+// naked new it once covered became a unique_ptr — and must itself be
+// flagged at its own line. The second still suppresses a live
+// banned-random finding, so it must NOT be reported. The third names
+// an analyzer-only rule; that vocabulary belongs to
+// tools/neu10_analyze.py, so the lint must neither reject nor
+// stale-flag it.
+#include <cstdlib>
+#include <memory>
+
+namespace neu10
+{
+
+struct Widget
+{
+    int v = 0;
+};
+
+std::unique_ptr<Widget>
+makeWidget()
+{
+    // neu10-lint: allow(naked-new): wraps the legacy pool // line 22
+    return std::make_unique<Widget>();
+}
+
+int
+legacyDraw()
+{
+    // neu10-lint: allow(banned-random): seeding the legacy shim once
+    return rand();
+}
+
+// neu10-lint: allow(impure-path): analyzer-owned vocabulary
+int g_shim_calls = 0;
+
+} // namespace neu10

@@ -62,6 +62,9 @@ def main():
         ("llm/bad_kv_accounting.cc", "unordered-iter", 2),
         ("llm/bad_kv_accounting.cc", "float-eq", 2),
         ("runtime/bad_naked_new.cc", "naked-new", 4),
+        # the dead directive is flagged at its own line; the live
+        # one right next to it must not be.
+        ("runtime/stale_allow.cc", "stale-allow", 1),
     ]:
         path, rule, minimum = expected
         hits = [line for line in out.splitlines()
@@ -69,6 +72,17 @@ def main():
         expect(len(hits) >= minimum,
                f"{rule} fires >= {minimum}x on {path} "
                f"(got {len(hits)})")
+
+    # stale-allow precision: exactly the dead allow(naked-new) at its
+    # directive line — the still-consumed allow(banned-random) and
+    # the analyzer-owned allow(impure-path) stay unflagged (and the
+    # latter must not be rejected as an unknown rule either).
+    stale = [l for l in out.splitlines() if " stale-allow: " in l]
+    expect(len(stale) == 1 and
+           stale[0].startswith("src/runtime/stale_allow.cc:22:"),
+           "stale-allow flags only the dead directive, at its line")
+    expect("allow(naked-new)" in stale[0],
+           "stale-allow names the rotted rule")
 
     # ---- determinism lint: the clean tree passes ------------------
     rc, out = run(lint, "--root", fixtures / "clean")

@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
-"""Header self-containment check: every src/**/*.hh must compile as
-its own translation unit.
+"""Header self-containment check: every src/**/*.hh — plus shared
+test headers (tests/*.hh) and any headers under tools/ — must
+compile as its own translation unit.
 
 Hidden transitive-include dependencies ("works because some .cc
 happened to include <vector> first") rot silently until an unrelated
@@ -29,11 +30,17 @@ import tempfile
 
 
 def compile_header(compiler, root, header, tmpdir):
-    rel = header.relative_to(root / "src")
+    rel = header.relative_to(root)
+    # src/ headers include each other module-relative, so they are
+    # checked under the name the library uses; everything else (test
+    # and tool headers) is checked by its repo-relative name.
+    inc = (rel.relative_to("src") if rel.parts[:1] == ("src",)
+           else rel)
     tu = pathlib.Path(tmpdir) / (str(rel).replace(os.sep, "__") + ".cc")
-    tu.write_text(f'#include "{rel.as_posix()}"\n', encoding="utf-8")
+    tu.write_text(f'#include "{inc.as_posix()}"\n', encoding="utf-8")
     cmd = [compiler, "-std=c++20", "-fsyntax-only", "-Wall", "-Wextra",
-           f"-I{root / 'src'}", str(tu)]
+           f"-I{root / 'src'}", f"-I{root}", f"-I{root / 'tests'}",
+           str(tu)]
     proc = subprocess.run(cmd, capture_output=True, text=True)
     return rel.as_posix(), proc.returncode, proc.stderr
 
@@ -53,7 +60,9 @@ def main():
     root = pathlib.Path(args.root).resolve()
     headers = ([pathlib.Path(h).resolve() for h in args.headers]
                if args.headers
-               else sorted((root / "src").rglob("*.hh")))
+               else sorted((root / "src").rglob("*.hh"))
+               + sorted((root / "tests").glob("*.hh"))
+               + sorted((root / "tools").rglob("*.hh")))
 
     failures = []
     with tempfile.TemporaryDirectory() as tmpdir, \

@@ -27,6 +27,9 @@ lint enforces the common ways of breaking it statically:
   naked-new       naked new / delete — owning raw pointers defeat the
                   leak- and lifetime-cleanliness the ASan gate checks;
                   use containers or smart pointers.
+  stale-allow     an allow() directive that no longer suppresses any
+                  finding — the code it excused was fixed or moved,
+                  so the escape hatch must be removed, not rot.
 
 Deliberate exceptions carry an inline escape hatch on the same or the
 immediately preceding line, naming the rule they waive:
@@ -50,7 +53,16 @@ RULES = {
                       "or deterministic-export (obs/) file",
     "float-eq": "floating-point ==/!= in allocator/accounting code",
     "naked-new": "naked new/delete",
+    "stale-allow": "allow() directive that suppresses nothing",
 }
+
+# Rules owned solely by the whole-program analyzer
+# (tools/neu10_analyze.py). It shares the allow() escape (and the
+# unordered-iter name, which both tools check); its private rule
+# names are legal in directives but not ours to judge, so they
+# neither error as unknown nor count toward staleness here.
+ANALYZER_ONLY_RULES = {"impure-path", "mutable-global",
+                       "pointer-key-iter"}
 
 # Files exempt from banned-random: the seeded generator itself.
 RANDOM_EXEMPT = ("common/random.hh", "common/random.cc")
@@ -100,11 +112,14 @@ RESULT_FILE_RE = re.compile(r"\b\w+Result\b")
 # even when no *Result type is named in the file.
 RESULT_SCOPES = ("obs/", "llm/")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*([A-Za-z_]\w*)")
-BEGIN_ITER_RE = re.compile(r"\b([A-Za-z_]\w*)\s*[.]\s*(?:c?begin|c?end)\s*\(")
-# A declaration line introducing an unordered container variable:
-# the variable name is the identifier right after the closing '>'.
+# `.begin()` starts a walk; a lone `.end()` is the find()-lookup
+# idiom (`it != names.end()`) and carries no order dependence.
+BEGIN_ITER_RE = re.compile(r"\b([A-Za-z_]\w*)\s*[.]\s*c?begin\s*\(")
+# A declaration introducing an unordered container variable — local,
+# member, or function parameter (hence ',' and ')'): the variable
+# name is the identifier right after the closing '>'.
 UNORDERED_DECL_RE = re.compile(
-    r"unordered_(?:map|set)\s*<.*>[&\s]*([A-Za-z_]\w*)\s*[;({=\[]")
+    r"unordered_(?:map|set)\s*<.*>[&\s]*([A-Za-z_]\w*)\s*[;({=\[,)]")
 FLOAT_DECL_RE = re.compile(
     r"\b(?:double|float|Cycles)\b[^;=(]*?([A-Za-z_]\w*)\s*[;({=\[,]")
 FLOAT_TMPL_DECL_RE = re.compile(
@@ -171,26 +186,37 @@ def strip_comments_and_strings(text):
 
 
 def collect_allows(raw_lines, code_lines):
-    """Map line number -> set of waived rules. A directive covers its
-    own line and the next line holding code (comment-only lines in
-    between — the rest of the justification — are skipped)."""
+    """Parse allow() directives. Returns (allows, directives):
+    allows maps line number -> {rule: directive}, where a directive
+    covers its own line and the next line holding code (comment-only
+    lines in between — the rest of the justification — are skipped).
+    directives is the list of records, each tracking which of its
+    rules actually suppressed a finding, for the stale-allow audit."""
     allows = {}
+    directives = []
     for idx, line in enumerate(raw_lines, start=1):
         m = ALLOW_RE.search(line)
         if not m:
             continue
         rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
-        unknown = rules - set(RULES)
+        unknown = rules - set(RULES) - ANALYZER_ONLY_RULES
         if unknown:
             raise SystemExit(
                 f"line {idx}: unknown rule(s) in allow(): "
                 f"{', '.join(sorted(unknown))}")
-        allows.setdefault(idx, set()).update(rules)
+        directive = {"line": idx, "rules": rules & set(RULES),
+                     "consumed": set()}
+        directives.append(directive)
+        covered = [idx]
         for j in range(idx + 1, len(code_lines) + 1):
-            allows.setdefault(j, set()).update(rules)
+            covered.append(j)
             if code_lines[j - 1].strip():
                 break
-    return allows
+        for j in covered:
+            slot = allows.setdefault(j, {})
+            for rule in directive["rules"]:
+                slot[rule] = directive
+    return allows, directives
 
 
 def base_identifier(expr):
@@ -205,12 +231,14 @@ def lint_file(path, rel, findings):
     code = strip_comments_and_strings(raw)
     code_lines = code.splitlines()
     try:
-        allows = collect_allows(raw_lines, code_lines)
+        allows, directives = collect_allows(raw_lines, code_lines)
     except SystemExit as err:
         raise SystemExit(f"{rel}: {err}")
 
     def report(lineno, rule, message):
-        if rule in allows.get(lineno, set()):
+        directive = allows.get(lineno, {}).get(rule)
+        if directive is not None:
+            directive["consumed"].add(rule)
             return
         findings.append((rel, lineno, rule, message))
 
@@ -275,6 +303,17 @@ def lint_file(path, rel, findings):
         if DELETE_RE.search(line) and "= delete" not in line:
             report(lineno, "naked-new",
                    "naked 'delete' — use a container or smart pointer")
+
+    # ---- stale-allow ----------------------------------------------
+    # Every rule a directive names must have excused at least one
+    # finding above; directives naming only analyzer-owned rules were
+    # filtered out of `rules` already and are the analyzer's to judge.
+    for directive in directives:
+        for rule in sorted(directive["rules"] - directive["consumed"]):
+            findings.append(
+                (rel, directive["line"], "stale-allow",
+                 f"allow({rule}) no longer suppresses any finding — "
+                 "remove the directive"))
 
 
 def source_files(root):
